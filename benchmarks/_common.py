@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` file reproduces one experiment from DESIGN.md's
+index: it exposes ``run_experiment()`` returning ``(title, headers,
+rows)``, a pytest-benchmark wrapper measuring one representative
+configuration's wall time, and a ``__main__`` hook so that::
+
+    python benchmarks/bench_e2_skip_benefit.py
+
+prints the table directly.  ``benchmarks/run_experiments.py`` runs the
+whole battery and regenerates every table referenced by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import PullSetup, print_table, run_pull_session
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+
+def standard_pull(subject: str = "doctor", patients: int = 10, **kwargs):
+    """A canonical hospital pull session (representative wall-time unit)."""
+    events = list(tree_to_events(hospital(n_patients=patients)))
+    setup = PullSetup(
+        events=events, rules=hospital_rules(), subject=subject, **kwargs
+    )
+    return run_pull_session(setup)
+
+
+def emit(title: str, headers, rows) -> None:
+    print()
+    print_table(title, headers, rows)

@@ -1,0 +1,85 @@
+"""E10 -- pending-predicate strategies: buffer vs skip-and-refetch.
+
+Documents whose predicates resolve late force the card to defer
+delivery.  ``BUFFER`` holds candidate output in secure RAM (order
+preserved); ``REFETCH`` skips the undecided subtree and replays its
+byte range after the predicate scope closes (near-zero RAM, extra
+transfer, out-of-order fragments).  The sweep scales the pending
+payload to expose the trade-off: buffering RAM grows with payload,
+refetch RAM stays flat while its transfer grows.
+"""
+
+from _common import emit
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.core.rules import AccessRule, RuleSet
+from repro.smartcard.applet import PendingStrategy
+from repro.xmlstream.parser import parse_string
+
+RULES = RuleSet(
+    [AccessRule.parse("+", "u", '//msg[flag = "keep"]/body', rule_id="E10")]
+)
+PAYLOADS = [40, 160, 640]
+
+
+def _document(payload: int, messages: int = 6) -> str:
+    parts = ["<mail>"]
+    for index in range(messages):
+        flag = "keep" if index % 2 == 0 else "drop"
+        parts.append(
+            f"<msg><body>{'x' * payload}</body><flag>{flag}</flag></msg>"
+        )
+    parts.append("</mail>")
+    return "".join(parts)
+
+
+def run_experiment():
+    headers = [
+        "payload B", "strategy", "pending RAM B", "ram high-water B",
+        "refetches", "refetch B", "dsp B", "time s",
+    ]
+    rows = []
+    for payload in PAYLOADS:
+        events = parse_string(_document(payload))
+        for strategy in (PendingStrategy.BUFFER, PendingStrategy.REFETCH):
+            outcome = run_pull_session(
+                PullSetup(
+                    events=events,
+                    rules=RULES,
+                    subject="u",
+                    strategy=strategy,
+                    chunk_size=64,
+                    ram_quota=None,
+                    strict_memory=False,
+                )
+            )
+            metrics = outcome.metrics
+            rows.append([
+                payload,
+                strategy.value,
+                metrics.max_pending_bytes,
+                metrics.ram_high_water,
+                metrics.refetch_count,
+                metrics.refetch_bytes,
+                metrics.bytes_from_dsp,
+                metrics.clock.total(),
+            ])
+    return "E10: pending strategies (late [flag] predicate)", headers, rows
+
+
+def test_e10_pending(benchmark):
+    events = parse_string(_document(160))
+    benchmark.pedantic(
+        lambda: run_pull_session(
+            PullSetup(events=events, rules=RULES, subject="u",
+                      strategy=PendingStrategy.REFETCH, chunk_size=64,
+                      ram_quota=None, strict_memory=False)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

@@ -1,0 +1,106 @@
+"""E11 (extension) -- integrity granularity: per-chunk MACs vs Merkle.
+
+DESIGN.md ablation #2.  For document sizes across the E1 range and the
+*sparse* access pattern the skip index produces (the accountant
+touches roughly half the chunks), compare:
+
+* storage at rest beyond the ciphertext,
+* bytes shipped to the card for verification,
+* card hash/MAC work in simulated milliseconds.
+
+Expected shape: per-chunk MACs pay linear storage but constant-time
+verification; Merkle pays near-zero storage but log-factor transfer
+and hashing per accessed chunk -- with skip-sparse access and a slow
+link, per-chunk MACs win end-to-end, which is why the container uses
+them.
+"""
+
+from _common import emit
+
+from repro.crypto.mac import DEFAULT_TAG_LENGTH
+from repro.crypto.merkle import (
+    MerkleTree,
+    hash_operations,
+    storage_overhead,
+)
+from repro.crypto.container import seal_document
+from repro.crypto.keys import DocumentKeys
+from repro.skipindex.encoder import IndexMode, encode_document
+from repro.smartcard.resources import CostModel, LinkModel
+from repro.workloads.docgen import hospital
+from repro.xmlstream.tree import tree_to_events
+
+COST = CostModel()
+LINK = LinkModel()
+KEYS = DocumentKeys(b"bench-e11-secret")
+ACCESS_FRACTION = 0.5  # chunks actually touched under skip (accountant-like)
+
+
+def _card_ms(cycles: float) -> float:
+    return 1000 * COST.seconds(cycles)
+
+
+def run_experiment():
+    headers = [
+        "patients", "chunks", "scheme", "storage ovh B",
+        "verify transfer B", "card verify ms", "link ms",
+    ]
+    rows = []
+    for patients in (5, 20, 80):
+        events = list(tree_to_events(hospital(n_patients=patients)))
+        plaintext = encode_document(events, IndexMode.RECURSIVE)
+        container = seal_document(plaintext, "d", 1, KEYS, chunk_size=64)
+        chunk_count = container.header.chunk_count
+        accessed = max(1, int(chunk_count * ACCESS_FRACTION))
+        chunk_bytes = 64 + 8  # ciphertext block payload incl. padding, approx
+
+        # Per-chunk MACs (the shipped design).
+        mac_storage = DEFAULT_TAG_LENGTH * chunk_count
+        mac_cycles = accessed * chunk_bytes * COST.cycles_mac_per_byte
+        rows.append([
+            patients, chunk_count, "per-chunk MAC", mac_storage,
+            0, _card_ms(mac_cycles), 0.0,
+        ])
+
+        # Merkle tree over the same chunks.
+        tree = MerkleTree(list(container.chunks))
+        transfer = 0
+        hash_count = 0
+        step = max(1, chunk_count // accessed)
+        for index in range(0, chunk_count, step):
+            path = tree.auth_path(index)
+            transfer += path.transfer_bytes
+            hash_count += hash_operations(path)
+        merkle_cycles = (
+            hash_count * 64 * COST.cycles_mac_per_byte  # per-hash block work
+        )
+        rows.append([
+            patients, chunk_count, "merkle", storage_overhead(chunk_count),
+            transfer, _card_ms(merkle_cycles),
+            1000 * LINK.transfer_seconds(transfer),
+        ])
+    return (
+        "E11: integrity granularity under skip-sparse access (50% of chunks)",
+        headers,
+        rows,
+    )
+
+
+def test_e11_integrity(benchmark):
+    events = list(tree_to_events(hospital(n_patients=20)))
+    plaintext = encode_document(events, IndexMode.RECURSIVE)
+    container = seal_document(plaintext, "d", 1, KEYS, chunk_size=64)
+
+    def build_and_verify():
+        tree = MerkleTree(list(container.chunks))
+        from repro.crypto.merkle import verify_chunk
+
+        path = tree.auth_path(3)
+        assert verify_chunk(tree.root, 3, container.chunks[3], path)
+
+    benchmark.pedantic(build_and_verify, rounds=3, iterations=1)
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

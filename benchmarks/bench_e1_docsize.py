@@ -1,0 +1,83 @@
+"""E1 -- evaluation latency vs document size, with/without skip index.
+
+Sweep the hospital document from ~4 KB to ~30 KB and run two profiles:
+
+* the **accountant** is forbidden most of each record (episodes); the
+  forbidden regions are large and contiguous, the skip index jumps
+  them, and the indexed session wins by a stable factor at every size;
+* the **doctor** is forbidden only small interleaved branches
+  (billing, psychiatric), regions smaller than a cipher chunk -- the
+  index cannot repay its own overhead, the crossover the paper warns
+  about ("its decryption and transmission overhead must not exceed its
+  own benefit").
+
+Both configurations scale linearly with size; the *ratio* between them
+is the paper's claim, not the absolute seconds.
+"""
+
+from _common import emit, standard_pull
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.skipindex.encoder import IndexMode
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+PATIENT_COUNTS = [5, 10, 20, 40]
+CHUNK = 64
+
+
+def _measure(events, subject, mode):
+    outcome = run_pull_session(
+        PullSetup(
+            events=events,
+            rules=hospital_rules(),
+            subject=subject,
+            index_mode=mode,
+            chunk_size=CHUNK,
+        )
+    )
+    return outcome
+
+
+def run_experiment():
+    headers = [
+        "patients", "plaintext B", "subject",
+        "time idx (s)", "time none (s)", "dec idx B", "dec none B", "speedup",
+    ]
+    rows = []
+    for patients in PATIENT_COUNTS:
+        events = list(tree_to_events(hospital(n_patients=patients)))
+        for subject in ("accountant", "doctor"):
+            indexed = _measure(events, subject, IndexMode.RECURSIVE)
+            plain = _measure(events, subject, IndexMode.NONE)
+            t_indexed = indexed.metrics.clock.total()
+            t_plain = plain.metrics.clock.total()
+            rows.append([
+                patients,
+                indexed.plaintext_bytes,
+                subject,
+                t_indexed,
+                t_plain,
+                indexed.metrics.bytes_decrypted,
+                plain.metrics.bytes_decrypted,
+                t_plain / t_indexed,
+            ])
+    return (
+        "E1: latency vs document size (coarse- vs fine-grained forbidden regions)",
+        headers,
+        rows,
+    )
+
+
+def test_e1_docsize(benchmark):
+    benchmark.pedantic(
+        lambda: standard_pull("accountant", patients=10, chunk_size=CHUNK),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

@@ -1,0 +1,68 @@
+"""E2 -- skip-index benefit vs authorized fraction.
+
+A subscriber's tier selects 1..5 of the five sections of a sectioned
+video stream; the skip index should cut transfer and decryption roughly
+in proportion to the forbidden fraction, with the paper's predicted
+crossover ("its decryption and transmission overhead must not exceed
+its own benefit") when everything is authorized.
+"""
+
+from _common import emit, standard_pull
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.skipindex.encoder import IndexMode
+from repro.workloads.docgen import video_catalog, _CATEGORIES
+from repro.workloads.rulegen import subscription_rules
+from repro.xmlstream.tree import tree_to_events
+
+
+def run_experiment():
+    events = list(tree_to_events(video_catalog(n_videos=50)))
+    headers = [
+        "tiers", "authorized", "dec idx B", "dec none B",
+        "dsp idx B", "dsp none B", "time idx", "time none", "gain",
+    ]
+    rows = []
+    for tier_count in range(1, len(_CATEGORIES) + 1):
+        tiers = _CATEGORIES[:tier_count]
+        rules = subscription_rules("sub", tiers)
+        indexed = run_pull_session(
+            PullSetup(events=events, rules=rules, subject="sub")
+        )
+        plain = run_pull_session(
+            PullSetup(
+                events=events,
+                rules=rules,
+                subject="sub",
+                index_mode=IndexMode.NONE,
+            )
+        )
+        rows.append([
+            f"{tier_count}/5",
+            f"{tier_count / 5:.0%}",
+            indexed.metrics.bytes_decrypted,
+            plain.metrics.bytes_decrypted,
+            indexed.metrics.bytes_from_dsp,
+            plain.metrics.bytes_from_dsp,
+            indexed.metrics.clock.total(),
+            plain.metrics.clock.total(),
+            plain.metrics.clock.total() / indexed.metrics.clock.total(),
+        ])
+    return "E2: skip benefit vs authorized fraction (subscription tiers)", headers, rows
+
+
+def test_e2_skip_benefit(benchmark):
+    events = list(tree_to_events(video_catalog(n_videos=50)))
+    rules = subscription_rules("sub", _CATEGORIES[:1])
+    benchmark.pedantic(
+        lambda: run_pull_session(
+            PullSetup(events=events, rules=rules, subject="sub")
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

@@ -1,0 +1,65 @@
+"""E4 -- skip-index storage overhead vs compression scheme.
+
+For each dataset family, encode with no index, with flat full-width
+bitmaps, and with the paper's recursive compression.  Expected shape:
+recursive stays within a few percent of the raw stream and strictly
+below flat on deep/narrow documents -- that is exactly what "recursive
+compression on both the set of tags bit array and the subtree size"
+buys.
+"""
+
+from _common import emit
+
+from repro.skipindex.encoder import IndexMode, encoded_size
+from repro.workloads.docgen import (
+    agenda,
+    bibliography,
+    hospital,
+    nested,
+    video_catalog,
+)
+from repro.xmlstream.tree import tree_to_events
+
+DATASETS = [
+    ("hospital", lambda: hospital(20)),
+    ("bibliography", lambda: bibliography(60)),
+    ("agenda", lambda: agenda(6, 8)),
+    ("video", lambda: video_catalog(40)),
+    ("deep-nested", lambda: nested(depth=14, fanout=1)),
+]
+
+
+def run_experiment():
+    headers = [
+        "dataset", "raw B", "flat B", "recursive B",
+        "flat ovh", "recursive ovh",
+    ]
+    rows = []
+    for name, factory in DATASETS:
+        events = list(tree_to_events(factory()))
+        raw = encoded_size(events, IndexMode.NONE)
+        flat = encoded_size(events, IndexMode.FLAT)
+        recursive = encoded_size(events, IndexMode.RECURSIVE)
+        rows.append([
+            name,
+            raw,
+            flat,
+            recursive,
+            f"{(flat - raw) / raw:+.1%}",
+            f"{(recursive - raw) / raw:+.1%}",
+        ])
+    return "E4: index storage overhead by encoding", headers, rows
+
+
+def test_e4_index_overhead(benchmark):
+    events = list(tree_to_events(hospital(20)))
+    benchmark.pedantic(
+        lambda: encoded_size(events, IndexMode.RECURSIVE),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

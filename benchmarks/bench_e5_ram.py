@@ -1,0 +1,60 @@
+"""E5 -- secure-RAM high-water vs document depth and rule count.
+
+The e-gate card gives applications 1 KB of RAM; the paper's whole
+design (streaming evaluation, stack of active states, compact skip
+metadata) exists to fit that budget.  This experiment sweeps document
+depth and rule count with the soft memory meter and reports the
+high-water mark and whether the hard 1 KB card would have survived.
+"""
+
+from _common import emit
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.workloads.docgen import hospital, nested
+from repro.workloads.rulegen import synthetic_rules
+from repro.xmlstream.tree import tree_to_events
+
+DEPTHS = [4, 8, 16, 32, 64]
+RULE_COUNTS = [1, 4, 16, 64]
+
+
+def run_experiment():
+    headers = ["sweep", "value", "ram high-water B", "fits 1 KB"]
+    rows = []
+    for depth in DEPTHS:
+        events = list(tree_to_events(nested(depth=depth, fanout=1)))
+        rules = synthetic_rules(4, tags=["n0", "n1", "n2", "n3"], seed=7)
+        outcome = run_pull_session(
+            PullSetup(events=events, rules=rules, subject="u",
+                      ram_quota=None, strict_memory=False)
+        )
+        ram = outcome.metrics.ram_high_water
+        rows.append(["depth", depth, ram, "yes" if ram <= 1024 else "NO"])
+    events = list(tree_to_events(hospital(10)))
+    for count in RULE_COUNTS:
+        rules = synthetic_rules(count, seed=23)
+        outcome = run_pull_session(
+            PullSetup(events=events, rules=rules, subject="u",
+                      ram_quota=None, strict_memory=False)
+        )
+        ram = outcome.metrics.ram_high_water
+        rows.append(["rules", count, ram, "yes" if ram <= 1024 else "NO"])
+    return "E5: secure-RAM high-water (1 KB card budget)", headers, rows
+
+
+def test_e5_ram(benchmark):
+    events = list(tree_to_events(nested(depth=16, fanout=1)))
+    rules = synthetic_rules(4, tags=["n0", "n1", "n2", "n3"], seed=7)
+    benchmark.pedantic(
+        lambda: run_pull_session(
+            PullSetup(events=events, rules=rules, subject="u",
+                      ram_quota=None, strict_memory=False)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

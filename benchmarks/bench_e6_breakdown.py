@@ -1,0 +1,73 @@
+"""E6 -- end-to-end latency breakdown of a pull session.
+
+Where does the time go?  The paper names "the cost of decryption in the
+SOE and the cost of communication between the SOE, the client and the
+server" as the two limiting factors; the breakdown should show link +
+card dominating and the (rejected) trusted-server architecture as the
+latency floor.
+"""
+
+from _common import emit
+
+from repro.baselines.server_filter import trusted_server_query
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.skipindex.encoder import IndexMode
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+
+def run_experiment():
+    root = hospital(n_patients=15)
+    events = list(tree_to_events(root))
+    rules = hospital_rules()
+    headers = [
+        "configuration", "network s", "link s", "card cpu s",
+        "eeprom s", "total s",
+    ]
+    rows = []
+    for label, mode in (
+        ("card + skip index", IndexMode.RECURSIVE),
+        ("card, no index", IndexMode.NONE),
+    ):
+        outcome = run_pull_session(
+            PullSetup(
+                events=events, rules=rules, subject="accountant",
+                index_mode=mode,
+            )
+        )
+        clock = outcome.metrics.clock
+        rows.append([
+            label,
+            clock.component("network"),
+            clock.component("link"),
+            clock.component("card_cpu"),
+            clock.component("eeprom"),
+            clock.total(),
+        ])
+    __, server_clock = trusted_server_query(root, rules, "accountant")
+    rows.append([
+        "trusted server (rejected)",
+        server_clock.component("network"),
+        0.0,
+        0.0,
+        0.0,
+        server_clock.total(),
+    ])
+    return "E6: latency breakdown (accountant, 15 patients)", headers, rows
+
+
+def test_e6_breakdown(benchmark):
+    events = list(tree_to_events(hospital(n_patients=15)))
+    benchmark.pedantic(
+        lambda: run_pull_session(
+            PullSetup(events=events, rules=hospital_rules(), subject="accountant")
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

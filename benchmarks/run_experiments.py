@@ -1,0 +1,47 @@
+"""Regenerate every experiment table (E1..E10) in one run.
+
+Usage::
+
+    python benchmarks/run_experiments.py
+
+The output is the source of the measured numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).parent
+MODULES = sorted(BENCH_DIR.glob("bench_e*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.pop(0)
+    return module
+
+
+def main() -> None:
+    from repro.bench.harness import print_table
+
+    total_start = time.time()
+    for path in MODULES:
+        module = _load(path)
+        start = time.time()
+        title, headers, rows = module.run_experiment()
+        print()
+        print_table(title, headers, rows)
+        print(f"[{path.name} in {time.time() - start:.1f} s]")
+    print(f"\nall experiments in {time.time() - total_start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Security demonstration: what a malicious DSP can and cannot do.
+
+"Under the assumption that the SOE is secure, the only way to mislead
+the access control rule evaluator is to tamper the input document, for
+example by substituting or modifying encrypted blocks, thus motivating
+the encryption and integrity checking." (Section 2.1)
+
+This example plays every attack from :mod:`repro.dsp.tamper` against a
+live session and shows the card detecting each one.
+
+Run with::
+
+    python examples/tamper_detection.py
+"""
+
+from repro.core.rules import AccessRule, RuleSet
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp import tamper
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+from repro.terminal.api import Publisher
+from repro.terminal.proxy import ProxyError
+from repro.terminal.session import Terminal
+from repro.xmlstream.parser import parse_string
+
+DOCUMENT = "<vault>" + "".join(
+    f"<entry id='e{i}'>credential {i}</entry>" for i in range(30)
+) + "</vault>"
+
+
+def attempt(name: str, dsp, pki, terminal=None) -> None:
+    terminal = terminal or Terminal("reader", dsp, pki)
+    try:
+        result, __ = terminal.query("vault", owner="owner")
+        print(f"  {name:34s} -> NOT DETECTED (view {len(result.xml)} chars)")
+    except (ProxyError, IndexError) as exc:
+        print(f"  {name:34s} -> detected ({exc})")
+
+
+def main() -> None:
+    pki = SimulatedPKI()
+    pki.enroll("owner")
+    pki.enroll("reader")
+    dsp = DSPServer(DSPStore())
+    publisher = Publisher("owner", dsp.store, pki)
+    rules = RuleSet([AccessRule.parse("+", "reader", "/vault")])
+    publisher.publish("vault", parse_string(DOCUMENT), rules, ["reader"],
+                      chunk_size=64)
+    pristine = dsp.store.get("vault").container
+
+    print("baseline (honest DSP):")
+    attempt("honest service", dsp, pki)
+    print()
+    print("attacks by the compromised DSP:")
+
+    dsp.store.put_document(tamper.corrupt_chunk(pristine, 4))
+    attempt("bit-flip inside a chunk", dsp, pki)
+
+    dsp.store.put_document(tamper.swap_chunks(pristine, 2, 7))
+    attempt("chunk reordering", dsp, pki)
+
+    other_rules = RuleSet([AccessRule.parse("+", "reader", "/other")])
+    publisher.publish("other", parse_string("<other>decoy</other>"),
+                      other_rules, ["reader"], chunk_size=64)
+    other = dsp.store.get("other").container
+    dsp.store.put_document(tamper.substitute_chunk(pristine, 1, other, 0))
+    attempt("cross-document substitution", dsp, pki)
+
+    dsp.store.put_document(tamper.truncate(pristine, keep=3))
+    attempt("truncation w/ forged header", dsp, pki)
+
+    dsp.store.put_document(tamper.truncate_keeping_header(pristine, keep=3))
+    attempt("truncation w/ original header", dsp, pki)
+
+    # Version replay: needs a card that has already seen the new version.
+    dsp.store.put_document(pristine)
+    terminal = Terminal("reader", dsp, pki)
+    terminal.query("vault", owner="owner")  # card register -> v1
+    publisher.publish("vault", parse_string("<vault><entry>v2</entry></vault>"),
+                      rules, ["reader"], chunk_size=64)
+    terminal.query("vault")  # card register -> v2
+    dsp.store.put_document(tamper.replay(pristine))
+    attempt("stale-version replay", dsp, pki, terminal=terminal)
+
+
+if __name__ == "__main__":
+    main()

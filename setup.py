@@ -1,0 +1,5 @@
+"""Shim so legacy editable installs work without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

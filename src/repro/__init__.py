@@ -1,0 +1,55 @@
+"""repro -- Safe Data Sharing and Data Dissemination on Smart Devices.
+
+A full Python reproduction of Bouganim, Cremarenco, Dang Ngoc, Dieu,
+Pucheral (SIGMOD 2005): client-based access control for XML documents
+evaluated inside a smart-card Secure Operating Environment, with a
+streaming non-deterministic-automata rule engine, an embedded skip
+index, chunked authenticated encryption, a DSP, a terminal proxy and
+the two demo applications (collaborative sharing and selective
+dissemination).
+
+Quickstart::
+
+    from repro import AccessRule, RuleSet, authorized_view
+    from repro.xmlstream import parse_string, write_string
+
+    rules = RuleSet([AccessRule.parse("+", "doctor", "//patient"),
+                     AccessRule.parse("-", "doctor", "//billing")])
+    view = authorized_view(parse_string(xml_text), rules, "doctor")
+    print(write_string(view))
+
+See ``examples/`` for the full smart-card architecture in action.
+"""
+
+from repro.core import (
+    AccessController,
+    AccessRule,
+    RuleSet,
+    Sign,
+    Subject,
+    ViewMode,
+    authorized_view,
+    reference_view,
+)
+from repro.skipindex import IndexMode
+from repro.smartcard import PendingStrategy, SmartCard
+from repro.terminal import Publisher, Terminal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessController",
+    "AccessRule",
+    "IndexMode",
+    "PendingStrategy",
+    "Publisher",
+    "RuleSet",
+    "Sign",
+    "SmartCard",
+    "Subject",
+    "Terminal",
+    "ViewMode",
+    "authorized_view",
+    "reference_view",
+    "__version__",
+]

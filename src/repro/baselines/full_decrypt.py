@@ -1,0 +1,33 @@
+"""Full-decryption baseline: the card engine without its skip index.
+
+Publishing with ``IndexMode.NONE`` removes the embedded metadata, so
+the card must receive and decrypt every chunk.  The comparison against
+``IndexMode.RECURSIVE`` isolates the paper's skip-index contribution
+(experiments E1 and E2).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.core.rules import RuleSet
+from repro.skipindex.encoder import IndexMode
+from repro.smartcard.resources import SessionMetrics
+from repro.xmlstream.events import Event
+
+
+def run_without_index(
+    events: list[Event],
+    rules: RuleSet,
+    subject: str,
+    query: str | None = None,
+) -> tuple[str, SessionMetrics]:
+    """One pull session over an index-free container."""
+    setup = PullSetup(
+        events=events,
+        rules=rules,
+        subject=subject,
+        query=query,
+        index_mode=IndexMode.NONE,
+    )
+    outcome = run_pull_session(setup)
+    return outcome.xml, outcome.metrics

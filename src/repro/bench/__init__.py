@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: session runners and table printing."""
+
+from repro.bench.harness import (
+    PullSetup,
+    PullOutcome,
+    print_series,
+    print_table,
+    run_pull_session,
+)
+
+__all__ = [
+    "PullOutcome",
+    "PullSetup",
+    "print_series",
+    "print_table",
+    "run_pull_session",
+]

@@ -1,0 +1,134 @@
+"""One-call experiment runner.
+
+Every benchmark builds a fresh full stack (PKI, DSP, publisher,
+terminal, card) for each measured point, so no state leaks between
+rows; the simulated clock makes the numbers deterministic across runs
+and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.delivery import ViewMode
+from repro.core.rules import RuleSet
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+from repro.skipindex.encoder import IndexMode
+from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.resources import SessionMetrics
+from repro.terminal.api import Publisher
+from repro.terminal.session import Terminal
+from repro.xmlstream.events import Event
+
+
+@dataclass(slots=True)
+class PullSetup:
+    """Parameters of one measured pull session."""
+
+    events: list[Event]
+    rules: RuleSet
+    subject: str
+    query: str | None = None
+    index_mode: IndexMode = IndexMode.RECURSIVE
+    strategy: PendingStrategy = PendingStrategy.BUFFER
+    view_mode: ViewMode = ViewMode.SKELETON
+    chunk_size: int = 96
+    ram_quota: int | None = 1024
+    strict_memory: bool = False
+    doc_id: str = "bench-doc"
+    owner: str = "owner"
+
+
+@dataclass(slots=True)
+class PullOutcome:
+    """The result and all measurements of one session."""
+
+    xml: str
+    fragments: list[tuple[int, str]]
+    metrics: SessionMetrics
+    container_bytes: int = 0
+    plaintext_bytes: int = 0
+
+
+def run_pull_session(setup: PullSetup) -> PullOutcome:
+    """Publish + query through a fresh stack; return view and metrics."""
+    pki = SimulatedPKI()
+    pki.enroll(setup.owner)
+    pki.enroll(setup.subject)
+    store = DSPStore()
+    dsp = DSPServer(store)
+    publisher = Publisher(setup.owner, store, pki)
+    publisher.publish(
+        setup.doc_id,
+        setup.events,
+        setup.rules,
+        [setup.subject],
+        index_mode=setup.index_mode,
+        chunk_size=setup.chunk_size,
+    )
+    terminal = Terminal(
+        setup.subject,
+        dsp,
+        pki,
+        ram_quota=setup.ram_quota,
+        strict_memory=setup.strict_memory,
+    )
+    result, metrics = terminal.query(
+        setup.doc_id,
+        query=setup.query,
+        owner=setup.owner,
+        strategy=setup.strategy,
+        view_mode=setup.view_mode,
+    )
+    container = publisher.container(setup.doc_id)
+    return PullOutcome(
+        xml=result.xml,
+        fragments=result.fragments,
+        metrics=metrics,
+        container_bytes=container.stored_size,
+        plaintext_bytes=container.header.total_length,
+    )
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned table (also returned as a string)."""
+    materialized = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def print_series(title: str, pairs: Iterable[tuple]) -> str:
+    """Render an x/y series as a two-column table."""
+    return print_table(title, ["x", "y"], [list(p) for p in pairs])

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: streaming access control for XML.
+
+The package implements Section 2 of the paper:
+
+* :mod:`repro.core.rules` -- the ``<sign, subject, object>`` access-rule
+  model with cascading propagation (Section 2.2),
+* :mod:`repro.core.nfa` / :mod:`repro.core.compile` -- the
+  non-deterministic automata of Figure 2 (navigational path + predicate
+  paths),
+* :mod:`repro.core.runtime` -- the token-stack engine that advances all
+  automata on ``open``/``value``/``close`` events and backtracks,
+* :mod:`repro.core.conditions` / :mod:`repro.core.decisions` -- the
+  predicate set, pending rules and the sign stack with
+  Denial-Takes-Precedence and Most-Specific-Object-Takes-Precedence,
+* :mod:`repro.core.evaluator` + :mod:`repro.core.delivery` +
+  :mod:`repro.core.pipeline` -- the streaming evaluator producing the
+  authorized view of a document,
+* :mod:`repro.core.reference` -- a non-streaming oracle used for
+  differential testing.
+"""
+
+from repro.core.analysis import PolicyReport, analyse, conflicts, minimize
+from repro.core.delivery import ViewMode
+from repro.core.pipeline import AccessController, authorized_view
+from repro.core.reference import reference_view
+from repro.core.rules import AccessRule, RuleSet, Sign, Subject
+
+__all__ = [
+    "AccessController",
+    "AccessRule",
+    "PolicyReport",
+    "RuleSet",
+    "Sign",
+    "Subject",
+    "ViewMode",
+    "analyse",
+    "authorized_view",
+    "conflicts",
+    "minimize",
+    "reference_view",
+]

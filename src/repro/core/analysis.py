@@ -1,0 +1,133 @@
+"""Static analysis of rule sets (policy authoring support).
+
+The paper notes that "some rules may be inhibited by others according
+to the conflict resolution policies, thereby optimizations such as
+suspending evaluations of rules can be devised" (Section 2.3).  This
+module performs the *static* part of that reasoning with the sound
+containment test of :mod:`repro.xpathlib.containment`:
+
+* a PERMIT rule is **shadowed** when a DENY rule provably selects every
+  node it selects -- Denial-Takes-Precedence then inhibits it on every
+  document, so it can be dropped before compilation;
+* two same-signed rules where one contains the other make the contained
+  one **redundant** only when their decisions agree everywhere; because
+  the contained rule still changes *which* node carries the direct
+  match (Most-Specific-Object), we only drop exact duplicates by
+  equivalence, which is always safe;
+* :func:`minimize` applies the safe reductions and reports what it
+  removed, so publishers can keep policies small -- fewer automata means
+  less secure RAM on the card (experiment E5's rule axis).
+
+All reductions are conservative: containment is only *proven*, never
+guessed, and anything unproven is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rules import AccessRule, RuleSet, Sign
+from repro.xpathlib.ast import Axis, NodeTest, Path, Step
+from repro.xpathlib.containment import contains, equivalent
+
+
+def _region(path: Path) -> Path:
+    """The path selecting every *strict descendant* of ``path``'s nodes.
+
+    Together with ``path`` itself this covers the rule's propagation
+    region (cascading rules apply to objects and all their
+    descendants).
+    """
+    return Path(
+        path.steps + (Step(Axis.DESCENDANT, NodeTest(None)),),
+        absolute=path.absolute,
+    )
+
+
+def region_contains(p: Path, q: Path) -> bool:
+    """Sound test: every node selected by ``q`` lies in ``p``'s
+    propagation region (on ``p``'s nodes or strictly below them)."""
+    return contains(p, q) or contains(_region(p), q)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyReport:
+    """Outcome of analysing one subject's rule list."""
+
+    kept: tuple[AccessRule, ...]
+    shadowed: tuple[AccessRule, ...] = field(default=())
+    duplicates: tuple[AccessRule, ...] = field(default=())
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.shadowed) + len(self.duplicates)
+
+
+def _is_shadowed(rule: AccessRule, denies: list[AccessRule]) -> bool:
+    """PERMIT rule provably dominated by a DENY on the same node set.
+
+    If ``deny.object ⊇ rule.object`` then every node the permit selects
+    also carries the deny as a *direct* match, and Denial-Takes-
+    Precedence inhibits the permit on every possible document.
+    """
+    return any(contains(deny.object, rule.object) for deny in denies)
+
+
+def _is_duplicate(rule: AccessRule, kept: list[AccessRule]) -> bool:
+    """Exact semantic duplicate (same sign, equivalent object)."""
+    return any(
+        rule.sign is other.sign and equivalent(rule.object, other.object)
+        for other in kept
+    )
+
+
+def analyse(rules: RuleSet) -> PolicyReport:
+    """Classify a subject's rules into kept / shadowed / duplicates.
+
+    The input must already be subject-specific (as compiled on the
+    card); rules for different subjects never interact.
+    """
+    denies = [rule for rule in rules if rule.sign is Sign.DENY]
+    kept: list[AccessRule] = []
+    shadowed: list[AccessRule] = []
+    duplicates: list[AccessRule] = []
+    for rule in rules:
+        if rule.sign is Sign.PERMIT and _is_shadowed(rule, denies):
+            shadowed.append(rule)
+            continue
+        if _is_duplicate(rule, kept):
+            duplicates.append(rule)
+            continue
+        kept.append(rule)
+    return PolicyReport(
+        kept=tuple(kept),
+        shadowed=tuple(shadowed),
+        duplicates=tuple(duplicates),
+    )
+
+
+def minimize(rules: RuleSet) -> tuple[RuleSet, PolicyReport]:
+    """Drop provably inert rules; the views are unchanged by design."""
+    report = analyse(rules)
+    return RuleSet(report.kept), report
+
+
+def conflicts(rules: RuleSet) -> list[tuple[AccessRule, AccessRule]]:
+    """Pairs (permit, deny) whose *propagation regions* provably
+    overlap -- one rule's nodes lie inside the other's region.
+
+    A deny inside a permit region (or vice versa) usually means the
+    policy intentionally carves an exception; authors still want the
+    list when auditing, because each such pair is a place where
+    conflict resolution actually decides something.
+    """
+    permits = [rule for rule in rules if rule.sign is Sign.PERMIT]
+    denies = [rule for rule in rules if rule.sign is Sign.DENY]
+    pairs: list[tuple[AccessRule, AccessRule]] = []
+    for permit in permits:
+        for deny in denies:
+            if region_contains(permit.object, deny.object) or region_contains(
+                deny.object, permit.object
+            ):
+                pairs.append((permit, deny))
+    return pairs

@@ -1,0 +1,142 @@
+"""Predicate conditions and the *pending rule* machinery.
+
+From Section 2.3 of the paper:
+
+    "In some cases, the final state of a navigational path may be
+    reached while those of its predicate paths are not.  In these
+    cases, the rule is said to be *pending*, meaning that the nodes
+    upon which it applies are to be delivered only if, later on in the
+    parsing, all the predicate paths are found to reach their final
+    states."
+
+A :class:`Condition` stands for one predicate instance ``[p]`` anchored
+at a specific context node.  It is three-valued:
+
+* ``UNKNOWN`` while the context node is still open,
+* ``TRUE`` as soon as some instance of the predicate path completes
+  (including its own nested conditions),
+* ``FALSE`` at the ``close`` of the context node if it never completed
+  -- predicate paths are relative, so nothing past that point can
+  satisfy them.
+
+Conjunction sets of conditions guard pending matches; listeners fire on
+every resolution so decisions and buffered output refresh eagerly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Iterable
+
+_condition_counter = itertools.count(1)
+
+
+class Tristate(enum.Enum):
+    UNKNOWN = "unknown"
+    TRUE = "true"
+    FALSE = "false"
+
+
+class Condition:
+    """One predicate instance anchored at a context node.
+
+    ``depth`` is the document depth of the context node; the runtime
+    finalizes (fails) all conditions of depth ``d`` when the element at
+    depth ``d`` closes.
+    """
+
+    __slots__ = ("condition_id", "depth", "state", "_listeners", "_supports")
+
+    def __init__(self, depth: int) -> None:
+        self.condition_id = next(_condition_counter)
+        self.depth = depth
+        self.state = Tristate.UNKNOWN
+        self._listeners: list[Callable[[Condition], None]] = []
+        # Each support is a set of nested conditions; the condition
+        # becomes TRUE when any support has all members TRUE.
+        self._supports: list[frozenset[Condition]] = []
+
+    # -- wiring --------------------------------------------------------
+
+    def add_listener(self, listener: Callable[["Condition"], None]) -> None:
+        """Register a callback invoked once on resolution."""
+        if self.state is not Tristate.UNKNOWN:
+            listener(self)
+        else:
+            self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        listeners, self._listeners = self._listeners, []
+        for listener in listeners:
+            listener(self)
+
+    # -- resolution ----------------------------------------------------
+
+    def add_support(self, nested: frozenset["Condition"]) -> None:
+        """Record a completed predicate-path match guarded by ``nested``.
+
+        With no nested conditions the condition resolves TRUE at once.
+        """
+        if self.state is not Tristate.UNKNOWN:
+            return
+        live = frozenset(c for c in nested if c.state is not Tristate.TRUE)
+        if any(c.state is Tristate.FALSE for c in live):
+            return
+        if not live:
+            self.state = Tristate.TRUE
+            self._notify()
+            return
+        self._supports.append(live)
+        for nested_condition in live:
+            nested_condition.add_listener(self._on_nested_resolution)
+
+    def _on_nested_resolution(self, _: "Condition") -> None:
+        if self.state is not Tristate.UNKNOWN:
+            return
+        for support in self._supports:
+            if all(c.state is Tristate.TRUE for c in support):
+                self.state = Tristate.TRUE
+                self._supports.clear()
+                self._notify()
+                return
+        # Prune supports that can no longer confirm.
+        self._supports = [
+            support
+            for support in self._supports
+            if not any(c.state is Tristate.FALSE for c in support)
+        ]
+
+    def finalize(self) -> None:
+        """Close the condition's window: UNKNOWN becomes FALSE.
+
+        Called at the ``close`` event of the context node.  Nested
+        conditions live strictly inside the context subtree, so they
+        are already resolved here and no support can still confirm.
+        """
+        if self.state is Tristate.UNKNOWN:
+            self.state = Tristate.FALSE
+            self._supports.clear()
+            self._notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Condition(#{self.condition_id}@{self.depth}:{self.state.value})"
+
+
+EMPTY_CONDITIONS: frozenset[Condition] = frozenset()
+
+
+def conjunction_state(conditions: Iterable[Condition]) -> Tristate:
+    """State of a conjunction: FALSE dominates, then UNKNOWN, then TRUE."""
+    saw_unknown = False
+    for condition in conditions:
+        if condition.state is Tristate.FALSE:
+            return Tristate.FALSE
+        if condition.state is Tristate.UNKNOWN:
+            saw_unknown = True
+    return Tristate.UNKNOWN if saw_unknown else Tristate.TRUE
+
+
+def live_conditions(conditions: Iterable[Condition]) -> frozenset[Condition]:
+    """Drop already-TRUE members of a conjunction (they cannot regress)."""
+    return frozenset(c for c in conditions if c.state is not Tristate.TRUE)

@@ -1,0 +1,137 @@
+"""Per-node authorization decisions and conflict resolution.
+
+This module is the paper's *sign stack* generalized to three-valued
+logic.  Each open element gets a :class:`DecisionNode` linked to its
+parent's; the chain of decision nodes along the open-element path plays
+the role of the stack that "keeps on the top the current sign that is
+propagated if no other rule applies" (Section 2.3).
+
+Conflict resolution (Section 2.2):
+
+* **Most-Specific-Object-Takes-Precedence** -- a rule matching a node
+  directly beats any decision propagated from an ancestor.  Encoded by
+  the parent fallback: the parent's decision is consulted only when no
+  direct match (definite or still-pending) survives.
+* **Denial-Takes-Precedence** -- among direct matches on the same node a
+  negative rule wins.  Encoded by the evaluation order below: a possible
+  denial keeps the node undecided even when a permission is certain.
+
+The default policy (closed-world) is a virtual root decision of DENY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.conditions import Condition, Tristate, conjunction_state
+from repro.core.rules import Sign
+
+#: Modeled secure-RAM size of one decision node (the sign-stack entry).
+DECISION_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Resolved:
+    """A final decision."""
+
+    sign: Sign
+
+
+@dataclass(frozen=True, slots=True)
+class Pending:
+    """An undecided decision, blocked on the given conditions."""
+
+    unknowns: frozenset[Condition]
+
+
+Status = Resolved | Pending
+
+
+class DecisionNode:
+    """Authorization state of one element node.
+
+    Direct matches are recorded at the node's ``open`` (all automata are
+    checked there, so the match set is complete immediately); only the
+    *conditions* guarding pending matches evolve afterwards.
+    """
+
+    __slots__ = ("parent", "_definite_deny", "_definite_permit", "_pending")
+
+    def __init__(self, parent: "DecisionNode | None") -> None:
+        self.parent = parent
+        self._definite_deny = False
+        self._definite_permit = False
+        self._pending: list[tuple[frozenset[Condition], Sign]] = []
+
+    @classmethod
+    def default_root(cls, sign: Sign) -> "DecisionNode":
+        """The virtual decision above the document root (default policy)."""
+        root = cls(None)
+        if sign is Sign.DENY:
+            root._definite_deny = True
+        else:
+            root._definite_permit = True
+        return root
+
+    def add_match(self, sign: Sign, conditions: frozenset[Condition]) -> None:
+        """Record a direct rule match on this node."""
+        state = conjunction_state(conditions)
+        if state is Tristate.FALSE:
+            return
+        if state is Tristate.TRUE:
+            if sign is Sign.DENY:
+                self._definite_deny = True
+            else:
+                self._definite_permit = True
+        else:
+            self._pending.append((conditions, sign))
+
+    @property
+    def has_direct_matches(self) -> bool:
+        return bool(self._definite_deny or self._definite_permit or self._pending)
+
+    def status(self) -> Status:
+        """Best-knowledge decision under the conflict-resolution policies.
+
+        Monotone: once :class:`Resolved`, later calls return the same
+        sign; a :class:`Pending` result lists exactly the conditions
+        whose resolution can change the outcome (the delivery engine
+        subscribes to them).
+        """
+        if self._definite_deny:
+            return Resolved(Sign.DENY)
+        unknowns: set[Condition] = set()
+        deny_open = False
+        for conditions, sign in self._pending:
+            if sign is not Sign.DENY:
+                continue
+            state = conjunction_state(conditions)
+            if state is Tristate.TRUE:
+                return Resolved(Sign.DENY)
+            if state is Tristate.UNKNOWN:
+                deny_open = True
+                unknowns.update(
+                    c for c in conditions if c.state is Tristate.UNKNOWN
+                )
+        if deny_open:
+            return Pending(frozenset(unknowns))
+        if self._definite_permit:
+            return Resolved(Sign.PERMIT)
+        permit_open = False
+        for conditions, sign in self._pending:
+            if sign is not Sign.PERMIT:
+                continue
+            state = conjunction_state(conditions)
+            if state is Tristate.TRUE:
+                return Resolved(Sign.PERMIT)
+            if state is Tristate.UNKNOWN:
+                permit_open = True
+                unknowns.update(
+                    c for c in conditions if c.state is Tristate.UNKNOWN
+                )
+        if permit_open:
+            return Pending(frozenset(unknowns))
+        # No direct match survives: propagate from the ancestor chain
+        # (Most-Specific-Object-Takes-Precedence fallback).
+        assert self.parent is not None, "virtual root must be definite"
+        return self.parent.status()

@@ -1,0 +1,111 @@
+"""Non-streaming oracle for differential testing.
+
+Implements the access-control semantics of Section 2.2 directly on a
+materialized tree, with none of the streaming machinery: rule node sets
+come from the reference XPath evaluator, decisions from a literal
+reading of the conflict-resolution policies, and the view from a
+recursive walk.  The streaming engine must agree with this module on
+every document -- that equivalence is the central property test of the
+repository.
+"""
+
+from __future__ import annotations
+
+from repro.core.delivery import ViewMode
+from repro.core.rules import RuleSet, Sign, Subject
+from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
+from repro.xmlstream.tree import Element
+from repro.xpathlib.ast import Path
+from repro.xpathlib.evaluator import evaluate_path
+from repro.xpathlib.parser import parse_path
+
+
+def _direct_matches(
+    rules: RuleSet, root: Element
+) -> dict[int, list[Sign]]:
+    matches: dict[int, list[Sign]] = {}
+    for rule in rules:
+        for node in evaluate_path(rule.object, root):
+            matches.setdefault(id(node), []).append(rule.sign)
+    return matches
+
+
+def _decide(
+    node: Element,
+    matches: dict[int, list[Sign]],
+    default: Sign,
+    cache: dict[int, Sign],
+) -> Sign:
+    """Decision for ``node``: direct matches with Denial-Takes-Precedence,
+    else the nearest ancestor decision (Most-Specific-Object)."""
+    cached = cache.get(id(node))
+    if cached is not None:
+        return cached
+    direct = matches.get(id(node))
+    if direct:
+        decision = Sign.DENY if Sign.DENY in direct else Sign.PERMIT
+    elif node.parent is not None:
+        decision = _decide(node.parent, matches, default, cache)
+    else:
+        decision = default
+    cache[id(node)] = decision
+    return decision
+
+
+def reference_view(
+    root: Element,
+    rules: RuleSet,
+    subject: Subject | str | None = None,
+    query: Path | str | None = None,
+    mode: ViewMode = ViewMode.SKELETON,
+    default: Sign = Sign.DENY,
+) -> list[Event]:
+    """Compute the authorized view on a materialized tree.
+
+    Semantics (identical to the streaming engine's):
+
+    * ``delivered(n)`` iff decision(n) is PERMIT and ``n`` lies in a
+      query-selected subtree (every node is selected when there is no
+      query);
+    * ``retained(n)`` iff delivered(n) or some descendant is retained;
+    * delivered nodes appear with attributes and direct text, retained
+      but undelivered nodes appear as bare skeletons (SKELETON mode) or
+      vanish with their children spliced upward (PRUNE mode).
+    """
+    if subject is not None:
+        rules = rules.for_subject(subject)
+    if isinstance(query, str):
+        query = parse_path(query)
+    matches = _direct_matches(rules, root)
+    decision_cache: dict[int, Sign] = {}
+
+    selected: set[int] | None = None
+    if query is not None:
+        selected = set()
+        for node in evaluate_path(query, root):
+            for member in node.iter():
+                selected.add(id(member))
+
+    def delivered(node: Element) -> bool:
+        if selected is not None and id(node) not in selected:
+            return False
+        return _decide(node, matches, default, decision_cache) is Sign.PERMIT
+
+    def contribution(node: Element) -> list[Event]:
+        child_events: list[Event] = []
+        is_delivered = delivered(node)
+        for child in node.children:
+            if isinstance(child, Element):
+                child_events.extend(contribution(child))
+            elif is_delivered and child:
+                child_events.append(ValueEvent(child))
+        if is_delivered:
+            open_event = OpenEvent(node.tag, tuple(node.attributes.items()))
+            return [open_event, *child_events, CloseEvent(node.tag)]
+        if not child_events:
+            return []
+        if mode is ViewMode.PRUNE:
+            return child_events
+        return [OpenEvent(node.tag), *child_events, CloseEvent(node.tag)]
+
+    return contribution(root)

@@ -1,0 +1,141 @@
+"""Access-control model: ``<sign, subject, object>`` rules.
+
+From Section 2.2 of the paper:
+
+    "access control rules, or access rules for short, take the form of a
+    3-uple <sign, subject, object>.  Sign denotes either a permission
+    (positive rule) or a prohibition (negative rule) for the read
+    operation.  Subject is self-explanatory.  Object corresponds to
+    elements or subtrees in the XML document, identified by an XPath
+    expression [in] XP{[],*,//}."
+
+Rules propagate to descendants; conflicts are resolved by the two
+policies implemented in :mod:`repro.core.decisions`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.xpathlib.ast import Path
+from repro.xpathlib.parser import parse_path
+
+_rule_counter = itertools.count(1)
+
+
+class Sign(enum.Enum):
+    """Permission or prohibition for the read operation."""
+
+    PERMIT = "+"
+    DENY = "-"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Subject:
+    """An access-control subject: a user together with its groups.
+
+    The demo paper keeps subjects abstract; we follow the common
+    user/group scheme of its underlying models ([1], [3]): a rule whose
+    subject names either the user itself or one of its groups applies.
+    """
+
+    name: str
+    groups: frozenset[str] = field(default=frozenset())
+
+    def covers(self, rule_subject: str) -> bool:
+        """Whether a rule written for ``rule_subject`` applies to us."""
+        return rule_subject == self.name or rule_subject in self.groups
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRule:
+    """A single access rule ``<sign, subject, object>``."""
+
+    sign: Sign
+    subject: str
+    object: Path
+    rule_id: str
+
+    def __post_init__(self) -> None:
+        if not self.object.absolute:
+            raise ValueError("rule objects must be absolute paths")
+
+    @classmethod
+    def parse(
+        cls,
+        sign: Sign | str,
+        subject: str,
+        xpath: str,
+        rule_id: str | None = None,
+    ) -> "AccessRule":
+        """Build a rule from textual components.
+
+        ``sign`` accepts a :class:`Sign` or the characters ``'+'``/``'-'``.
+        """
+        if isinstance(sign, str):
+            sign = Sign(sign)
+        if rule_id is None:
+            rule_id = f"R{next(_rule_counter)}"
+        return cls(sign, subject, parse_path(xpath), rule_id)
+
+    def __str__(self) -> str:
+        return f"<{self.sign}, {self.subject}, {self.object}>"
+
+
+class RuleSet:
+    """An ordered collection of access rules (a policy).
+
+    The set is what the DSP stores encrypted and what the card applies;
+    :meth:`for_subject` extracts the rules relevant to one subject,
+    which is what actually gets compiled into automata.
+    """
+
+    def __init__(self, rules: Iterable[AccessRule] = ()) -> None:
+        self._rules: list[AccessRule] = list(rules)
+        ids = [rule.rule_id for rule in self._rules]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate rule identifiers in rule set")
+
+    def __iter__(self) -> Iterator[AccessRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def add(self, rule: AccessRule) -> None:
+        """Append a rule (policies are dynamic -- the paper's point)."""
+        if any(existing.rule_id == rule.rule_id for existing in self._rules):
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules.append(rule)
+
+    def remove(self, rule_id: str) -> AccessRule:
+        """Remove and return the rule with the given id."""
+        for index, rule in enumerate(self._rules):
+            if rule.rule_id == rule_id:
+                return self._rules.pop(index)
+        raise KeyError(rule_id)
+
+    def for_subject(self, subject: Subject | str) -> "RuleSet":
+        """The sub-policy applying to ``subject``."""
+        if isinstance(subject, str):
+            subject = Subject(subject)
+        return RuleSet(r for r in self._rules if subject.covers(r.subject))
+
+    def label_set(self) -> frozenset[str]:
+        """Union of all tag names the rules mention (skip-index filter)."""
+        labels: set[str] = set()
+        for rule in self._rules:
+            labels.update(rule.object.label_set())
+        return frozenset(labels)
+
+    def signs(self) -> tuple[Sign, ...]:
+        return tuple(rule.sign for rule in self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self._rules)

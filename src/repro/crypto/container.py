@@ -1,0 +1,200 @@
+"""The encrypted document container stored at the DSP.
+
+The SXS plaintext stream (skip index included) is cut into fixed-size
+chunks; each chunk is encrypted independently (XTEA-CBC, deterministic
+per-chunk IV) and carries a positional MAC.  Independent chunks are
+what make the skip index effective end-to-end: the card can resume at
+any chunk boundary without decrypting or verifying what it skipped,
+while substitution/reorder/replay/truncation all remain detectable
+(see :mod:`repro.crypto.mac`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import DocumentKeys
+from repro.crypto.mac import (
+    DEFAULT_TAG_LENGTH,
+    chunk_mac,
+    header_mac,
+    verify_mac,
+)
+from repro.crypto.modes import PaddingError, cbc_decrypt, cbc_encrypt
+
+DEFAULT_CHUNK_SIZE = 96  # plaintext bytes per chunk; fits card RAM easily
+
+
+class IntegrityError(Exception):
+    """Raised when a MAC check or structural invariant fails."""
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentHeader:
+    """Authenticated container metadata."""
+
+    doc_id: str
+    version: int
+    chunk_size: int
+    chunk_count: int
+    total_length: int  # plaintext bytes
+    tag_length: int
+    tag: bytes = field(repr=False, default=b"")
+
+    def payload(self) -> bytes:
+        return self.total_length.to_bytes(8, "big") + bytes([self.tag_length])
+
+    def verify(self, keys: DocumentKeys) -> None:
+        """Check the header MAC (card side, before any chunk is used)."""
+        expected = header_mac(
+            keys.mac,
+            self.doc_id,
+            self.version,
+            self.chunk_count,
+            self.chunk_size,
+            self.payload(),
+            self.tag_length,
+        )
+        if not verify_mac(expected, self.tag):
+            raise IntegrityError(f"header MAC mismatch for {self.doc_id!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentContainer:
+    """Header plus encrypted chunks, as stored at the DSP."""
+
+    header: DocumentHeader
+    chunks: tuple[bytes, ...]  # each = ciphertext || tag
+
+    def chunk_for_offset(self, offset: int) -> int:
+        """Index of the chunk containing plaintext ``offset``."""
+        return offset // self.header.chunk_size
+
+    @property
+    def stored_size(self) -> int:
+        """Total bytes at rest (ciphertext + tags), the E4/E6 metric."""
+        return sum(len(chunk) for chunk in self.chunks)
+
+
+def seal_document(
+    plaintext: bytes,
+    doc_id: str,
+    version: int,
+    keys: DocumentKeys,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    tag_length: int = DEFAULT_TAG_LENGTH,
+) -> DocumentContainer:
+    """Encrypt and authenticate an SXS plaintext stream (owner side)."""
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    chunk_count = max(1, -(-len(plaintext) // chunk_size))
+    chunks: list[bytes] = []
+    for index in range(chunk_count):
+        piece = plaintext[index * chunk_size:(index + 1) * chunk_size]
+        iv = keys.iv(doc_id, version, index)
+        ciphertext = cbc_encrypt(piece, keys.encryption, iv)
+        tag = chunk_mac(
+            keys.mac, doc_id, version, index, chunk_count, ciphertext, tag_length
+        )
+        chunks.append(ciphertext + tag)
+    header = DocumentHeader(
+        doc_id=doc_id,
+        version=version,
+        chunk_size=chunk_size,
+        chunk_count=chunk_count,
+        total_length=len(plaintext),
+        tag_length=tag_length,
+        tag=b"",
+    )
+    header = DocumentHeader(
+        doc_id=doc_id,
+        version=version,
+        chunk_size=chunk_size,
+        chunk_count=chunk_count,
+        total_length=len(plaintext),
+        tag_length=tag_length,
+        tag=header_mac(
+            keys.mac, doc_id, version, chunk_count, chunk_size,
+            header.payload(), tag_length,
+        ),
+    )
+    return DocumentContainer(header=header, chunks=tuple(chunks))
+
+
+def seal_blob(
+    plaintext: bytes,
+    label: str,
+    version: int,
+    keys: DocumentKeys,
+    tag_length: int = DEFAULT_TAG_LENGTH,
+) -> bytes:
+    """Encrypt and authenticate a small standalone blob (e.g. one access
+    rule record).  The label namespaces the MAC so a blob can never be
+    replayed as a document chunk or as a different record."""
+    iv = keys.iv(label, version, 0)
+    ciphertext = cbc_encrypt(plaintext, keys.encryption, iv)
+    tag = chunk_mac(keys.mac, label, version, 0, 1, ciphertext, tag_length)
+    return ciphertext + tag
+
+
+def open_blob(
+    blob: bytes,
+    label: str,
+    version: int,
+    keys: DocumentKeys,
+    tag_length: int = DEFAULT_TAG_LENGTH,
+) -> bytes:
+    """Verify and decrypt a blob sealed by :func:`seal_blob`."""
+    if len(blob) <= tag_length:
+        raise IntegrityError(f"blob {label!r} too short")
+    ciphertext, tag = blob[:-tag_length], blob[-tag_length:]
+    expected = chunk_mac(keys.mac, label, version, 0, 1, ciphertext, tag_length)
+    if not verify_mac(expected, tag):
+        raise IntegrityError(f"blob MAC mismatch for {label!r}")
+    iv = keys.iv(label, version, 0)
+    try:
+        return cbc_decrypt(ciphertext, keys.encryption, iv)
+    except (PaddingError, ValueError) as exc:
+        raise IntegrityError(f"blob {label!r} failed to decrypt") from exc
+
+
+def open_chunk(
+    header: DocumentHeader,
+    index: int,
+    blob: bytes,
+    keys: DocumentKeys,
+) -> bytes:
+    """Verify and decrypt one chunk (card side).
+
+    Raises :class:`IntegrityError` on any tamper evidence.
+    """
+    if not 0 <= index < header.chunk_count:
+        raise IntegrityError(f"chunk index {index} out of range")
+    if len(blob) <= header.tag_length:
+        raise IntegrityError("chunk too short")
+    ciphertext, tag = blob[:-header.tag_length], blob[-header.tag_length:]
+    expected = chunk_mac(
+        keys.mac,
+        header.doc_id,
+        header.version,
+        index,
+        header.chunk_count,
+        ciphertext,
+        header.tag_length,
+    )
+    if not verify_mac(expected, tag):
+        raise IntegrityError(
+            f"chunk {index} MAC mismatch for {header.doc_id!r}"
+        )
+    iv = keys.iv(header.doc_id, header.version, index)
+    try:
+        plaintext = cbc_decrypt(ciphertext, keys.encryption, iv)
+    except (PaddingError, ValueError) as exc:
+        raise IntegrityError(f"chunk {index} failed to decrypt") from exc
+    expected_length = min(
+        header.chunk_size,
+        header.total_length - index * header.chunk_size,
+    )
+    if len(plaintext) != expected_length:
+        raise IntegrityError(f"chunk {index} has unexpected length")
+    return plaintext

@@ -1,0 +1,79 @@
+"""Key material and derivation.
+
+One secret per document (``k_doc``) is shared among authorized users
+through the (simulated) PKI; encryption, MAC and IV keys are derived
+from it, so revoking a user never requires re-keying unrelated
+documents -- and, the paper's central point, changing *access rules*
+never requires re-encrypting anything at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE
+
+
+def random_key() -> bytes:
+    """A fresh 128-bit document secret."""
+    return os.urandom(KEY_SIZE)
+
+
+def derive_key(secret: bytes, label: str, length: int = KEY_SIZE) -> bytes:
+    """Deterministic subkey derivation (HKDF-like, one expand step)."""
+    return hmac.new(secret, b"derive:" + label.encode("utf-8"), hashlib.sha256).digest()[:length]
+
+
+def derive_iv(secret: bytes, doc_id: str, version: int, index: int) -> bytes:
+    """Deterministic per-chunk IV; no IV storage in the container."""
+    message = f"iv:{doc_id}:{version}:{index}".encode("utf-8")
+    return hmac.new(secret, message, hashlib.sha256).digest()[:BLOCK_SIZE]
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentKeys:
+    """The derived key bundle for one document."""
+
+    secret: bytes
+
+    @property
+    def encryption(self) -> bytes:
+        return derive_key(self.secret, "enc")
+
+    @property
+    def mac(self) -> bytes:
+        return derive_key(self.secret, "mac")
+
+    def iv(self, doc_id: str, version: int, index: int) -> bytes:
+        return derive_iv(self.secret, doc_id, version, index)
+
+
+class KeyRing:
+    """Per-principal store of document secrets.
+
+    On the card this lives in secure stable storage; terminal-side
+    instances model what each user has been granted through the PKI.
+    """
+
+    def __init__(self) -> None:
+        self._secrets: dict[str, DocumentKeys] = {}
+
+    def grant(self, doc_id: str, secret: bytes) -> None:
+        """Install the secret for a document."""
+        self._secrets[doc_id] = DocumentKeys(secret)
+
+    def revoke(self, doc_id: str) -> None:
+        self._secrets.pop(doc_id, None)
+
+    def keys_for(self, doc_id: str) -> DocumentKeys:
+        """Key bundle for a document (KeyError when not granted)."""
+        return self._secrets[doc_id]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._secrets
+
+    def __len__(self) -> int:
+        return len(self._secrets)

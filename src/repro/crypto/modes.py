@@ -1,0 +1,62 @@
+"""CBC mode with PKCS#7 padding over the XTEA block cipher."""
+
+from __future__ import annotations
+
+from repro.crypto.xtea import (
+    BLOCK_SIZE,
+    xtea_decrypt_block,
+    xtea_encrypt_block,
+)
+
+
+class PaddingError(ValueError):
+    """Raised when PKCS#7 padding is malformed after decryption."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding (always adds 1..block_size bytes)."""
+    pad = block_size - (len(data) % block_size)
+    return data + bytes([pad]) * pad
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("ciphertext length is not a block multiple")
+    pad = data[-1]
+    if not 1 <= pad <= block_size or data[-pad:] != bytes([pad]) * pad:
+        raise PaddingError("bad padding bytes")
+    return data[:-pad]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+    """Encrypt with XTEA-CBC; the plaintext is PKCS#7-padded."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = _xor(padded[offset:offset + BLOCK_SIZE], previous)
+        previous = xtea_encrypt_block(block, key)
+        out.extend(previous)
+    return bytes(out)
+
+
+def cbc_decrypt(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+    """Decrypt XTEA-CBC and strip padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext length is not a block multiple")
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset:offset + BLOCK_SIZE]
+        out.extend(_xor(xtea_decrypt_block(block, key), previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))

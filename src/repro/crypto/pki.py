@@ -1,0 +1,117 @@
+"""Simulated PKI for key exchange between users.
+
+The demo paper's own choice, footnote 2: "In the demonstration, we will
+not use a PKI infrastructure but rather simulate it [...] PKI is a
+well-known technique that need not be demonstrated."
+
+We implement a small but real finite-field Diffie-Hellman (RFC 3526
+2048-bit MODP group) plus key wrapping, so the code path exercised by
+the applications -- publish a document secret to a set of users without
+the DSP learning it -- is genuine, while staying offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE
+
+# RFC 3526, group 14 (2048-bit MODP).
+_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF",
+    16,
+)
+_G = 2
+
+
+@dataclass(frozen=True, slots=True)
+class KeyPair:
+    """A DH key pair for one principal."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, seed: bytes | None = None) -> "KeyPair":
+        """Generate a key pair (seeded for deterministic tests)."""
+        if seed is None:
+            seed = os.urandom(32)
+        private = int.from_bytes(
+            hashlib.sha256(b"dh-private:" + seed).digest() * 8, "big"
+        ) % (_P - 2) + 1
+        return cls(private, pow(_G, private, _P))
+
+
+def shared_secret(own: KeyPair, peer_public: int) -> bytes:
+    """Derive a 128-bit wrapping key from the DH shared value."""
+    value = pow(peer_public, own.private, _P)
+    raw = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    return hashlib.sha256(b"dh-kek:" + raw).digest()[:KEY_SIZE]
+
+
+class SimulatedPKI:
+    """A directory of public keys plus wrapped-secret distribution.
+
+    ``publish_secret`` is what a document owner calls to hand the
+    document secret to each authorized user; the wrapped blobs can sit
+    on the untrusted DSP, which learns nothing.
+    """
+
+    def __init__(self) -> None:
+        self._directory: dict[str, int] = {}
+        self._pairs: dict[str, KeyPair] = {}
+
+    def enroll(self, principal: str, seed: bytes | None = None) -> KeyPair:
+        """Create and register a key pair for a principal."""
+        if seed is None:
+            seed = b"enroll:" + principal.encode("utf-8")
+        pair = KeyPair.generate(seed)
+        self._directory[principal] = pair.public
+        self._pairs[principal] = pair
+        return pair
+
+    def public_key(self, principal: str) -> int:
+        return self._directory[principal]
+
+    def wrap_secret(
+        self, sender: str, recipient: str, secret: bytes
+    ) -> bytes:
+        """Wrap ``secret`` from ``sender`` to ``recipient``."""
+        kek = shared_secret(self._pairs[sender], self._directory[recipient])
+        iv = hmac.new(
+            kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
+        ).digest()[:BLOCK_SIZE]
+        return cbc_encrypt(secret, kek, iv)
+
+    def unwrap_secret(
+        self, recipient: str, sender: str, wrapped: bytes
+    ) -> bytes:
+        """Unwrap a secret received from ``sender``."""
+        kek = shared_secret(self._pairs[recipient], self._directory[sender])
+        iv = hmac.new(
+            kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
+        ).digest()[:BLOCK_SIZE]
+        return cbc_decrypt(wrapped, kek, iv)
+
+    def publish_secret(
+        self, owner: str, recipients: list[str], secret: bytes
+    ) -> dict[str, bytes]:
+        """Wrapped copies of ``secret`` for every recipient."""
+        return {
+            recipient: self.wrap_secret(owner, recipient, secret)
+            for recipient in recipients
+        }

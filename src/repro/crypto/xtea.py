@@ -1,0 +1,52 @@
+"""XTEA block cipher (Needham & Wheeler, 1997) -- from scratch.
+
+64-bit blocks, 128-bit keys, 32 rounds.  XTEA is a realistic stand-in
+for a software cipher on an 8/32-bit smart-card CPU: tiny code, small
+state, cost strictly linear in the number of blocks.  The cycle model
+in :mod:`repro.smartcard.resources` charges per byte accordingly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_DELTA = 0x9E3779B9
+_MASK = 0xFFFFFFFF
+_ROUNDS = 32
+
+BLOCK_SIZE = 8
+KEY_SIZE = 16
+
+
+def _key_schedule(key: bytes) -> tuple[int, int, int, int]:
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"XTEA needs a {KEY_SIZE}-byte key")
+    return struct.unpack(">4L", key)
+
+
+def xtea_encrypt_block(block: bytes, key: bytes) -> bytes:
+    """Encrypt one 8-byte block."""
+    if len(block) != BLOCK_SIZE:
+        raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
+    k = _key_schedule(key)
+    v0, v1 = struct.unpack(">2L", block)
+    total = 0
+    for _ in range(_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+        total = (total + _DELTA) & _MASK
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+    return struct.pack(">2L", v0, v1)
+
+
+def xtea_decrypt_block(block: bytes, key: bytes) -> bytes:
+    """Decrypt one 8-byte block."""
+    if len(block) != BLOCK_SIZE:
+        raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
+    k = _key_schedule(key)
+    v0, v1 = struct.unpack(">2L", block)
+    total = (_DELTA * _ROUNDS) & _MASK
+    for _ in range(_ROUNDS):
+        v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
+        total = (total - _DELTA) & _MASK
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+    return struct.pack(">2L", v0, v1)

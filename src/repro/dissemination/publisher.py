@@ -1,0 +1,28 @@
+"""Publisher side of the push scenario."""
+
+from __future__ import annotations
+
+from repro.crypto.container import DocumentContainer
+from repro.dissemination.channel import BroadcastChannel
+from repro.smartcard.card import encode_header
+
+
+class StreamPublisher:
+    """Broadcasts a sealed document over a channel, chunk by chunk.
+
+    In the demo this is the multimedia-stream head-end: the container
+    is produced once (by :class:`repro.terminal.api.Publisher`) and
+    then pushed; subscribers' rights differ, the broadcast does not.
+    """
+
+    def __init__(self, channel: BroadcastChannel) -> None:
+        self.channel = channel
+
+    def broadcast_document(self, container: DocumentContainer) -> None:
+        """Send the header followed by every chunk, in order."""
+        self.channel.broadcast(
+            "header", 0, encode_header(container.header)
+        )
+        for index, blob in enumerate(container.chunks):
+            self.channel.broadcast("chunk", index, blob)
+        self.channel.broadcast("end", 0, b"")

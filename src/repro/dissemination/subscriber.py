@@ -1,0 +1,189 @@
+"""Subscriber side of the push scenario.
+
+Each subscriber owns a card with its own rules; the terminal-side
+shim decides, per broadcast chunk, whether the card still needs it --
+if the card's skip directive already jumped past the chunk, it is
+dropped *before* the 2 KB/s card link, which is where the skip index
+pays off in push mode.
+
+There is no backchannel, so pending subtrees must use the BUFFER
+strategy (REFETCH would require asking the publisher to re-send).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.delivery import ViewMode
+from repro.smartcard.apdu import CommandAPDU, Instruction, ResponseAPDU
+from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.card import SmartCard, decode_header
+from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
+
+
+@dataclass(slots=True)
+class SubscriberState:
+    """Progress of one subscriber through the broadcast."""
+
+    next_needed_offset: int = 0
+    document_done: bool = False
+    failed: str | None = None
+    output: bytearray = field(default_factory=bytearray)
+
+
+class Subscriber:
+    """One community member listening to the broadcast."""
+
+    def __init__(
+        self,
+        name: str,
+        card: SmartCard,
+        rules_version: int,
+        rule_records: list[bytes],
+        link: LinkModel | None = None,
+        clock: SimClock | None = None,
+        view_mode: ViewMode = ViewMode.SKELETON,
+    ) -> None:
+        self.name = name
+        self.card = card
+        self.link = link or LinkModel()
+        self.clock = clock or SimClock()
+        self.metrics = SessionMetrics()
+        self.metrics.clock = self.clock
+        self._rules_version = rules_version
+        self._rule_records = rule_records
+        self._view_mode = view_mode
+        self.state = SubscriberState()
+        self._chunk_size = 0
+        self._ended = False
+
+    # -- card link ------------------------------------------------------------
+
+    def _transmit(self, command: CommandAPDU) -> ResponseAPDU:
+        response = self.card.process(command)
+        nbytes = command.wire_size + response.wire_size
+        self.metrics.apdu_count += 1
+        self.metrics.bytes_to_card += command.wire_size
+        self.metrics.bytes_from_card += response.wire_size
+        self.clock.add(f"link:{self.name}", self.link.apdu_overhead_seconds)
+        self.clock.add(f"link:{self.name}", self.link.transfer_seconds(nbytes))
+        return response
+
+    def _drain(self, last: ResponseAPDU) -> None:
+        response = last
+        while (response.sw & 0xFF00) == 0x6100:
+            response = self._transmit(CommandAPDU(Instruction.GET_OUTPUT))
+            self.state.output.extend(response.data)
+            self.metrics.output_bytes += len(response.data)
+
+    # -- broadcast listener -------------------------------------------------------
+
+    def on_frame(self, kind: str, index: int, payload: bytes) -> None:
+        """Channel callback; drops frames the card no longer needs."""
+        if self.state.failed is not None:
+            return
+        if self.state.document_done and self._ended:
+            # A completed session ignores further carousel cycles.
+            return
+        if kind == "header":
+            self._on_header(payload)
+        elif kind == "chunk":
+            self._on_chunk(index, payload)
+        elif kind == "end":
+            self._on_end()
+
+    def _fail(self, context: str, response: ResponseAPDU) -> None:
+        self.state.failed = f"{context}: {response.sw:#06x}"
+
+    def _on_header(self, payload: bytes) -> None:
+        header = decode_header(payload)
+        self._chunk_size = header.chunk_size
+        response = self._transmit(
+            CommandAPDU(Instruction.SELECT, data=b"repro.applet")
+        )
+        doc = header.doc_id.encode("utf-8")
+        subject = self.name.encode("utf-8")
+        begin = bytes([0, len(doc)]) + doc + bytes([len(subject)]) + subject
+        if self._view_mode is ViewMode.PRUNE:
+            begin = bytes([0x04]) + begin[1:]
+        response = self._transmit(
+            CommandAPDU(Instruction.BEGIN_SESSION, data=begin)
+        )
+        if not response.ok:
+            return self._fail("begin", response)
+        response = self._transmit(
+            CommandAPDU(Instruction.PUT_HEADER, data=payload)
+        )
+        if not response.ok:
+            return self._fail("header", response)
+        for rule_index, record in enumerate(self._rule_records):
+            data = struct.pack(">Q", self._rules_version) + record
+            response = self._transmit(
+                CommandAPDU(
+                    Instruction.PUT_RULES,
+                    p1=rule_index >> 8,
+                    p2=rule_index & 0xFF,
+                    data=data,
+                )
+            )
+            if not response.ok:
+                return self._fail(f"rule {rule_index}", response)
+
+    def _on_chunk(self, index: int, payload: bytes) -> None:
+        if self.state.failed or self.state.document_done:
+            return
+        chunk_end = (index + 1) * self._chunk_size
+        if chunk_end <= self.state.next_needed_offset:
+            # The card already skipped past this chunk: drop it at the
+            # terminal, before the card link.
+            self.metrics.chunks_skipped += 1
+            return
+        self.metrics.chunks_sent += 1
+        response = self._transmit(
+            CommandAPDU(
+                Instruction.PUT_CHUNK,
+                p1=index >> 8,
+                p2=index & 0xFF,
+                data=payload,
+            )
+        )
+        if not response.ok:
+            return self._fail(f"chunk {index}", response)
+        next_offset, done = struct.unpack(">QB", response.data[:9])
+        self.state.next_needed_offset = next_offset
+        self._drain(response)
+        if done:
+            self.state.document_done = True
+
+    def _on_end(self) -> None:
+        if self.state.failed:
+            return
+        if not self.state.document_done:
+            self.state.failed = "stream ended before document completed"
+            return
+        response = self._transmit(CommandAPDU(Instruction.END_DOCUMENT))
+        if not response.ok:
+            return self._fail("end", response)
+        self._drain(response)
+        self._ended = True
+        self._finalize_metrics()
+
+    def _finalize_metrics(self) -> None:
+        soe = self.card.soe
+        self.metrics.ram_high_water = soe.memory.high_water
+        self.metrics.card_cycles = soe.cycles_used
+        self.metrics.bytes_decrypted = self.card.applet.bytes_decrypted
+        self.metrics.bytes_skipped = self.card.applet.bytes_skipped
+        self.metrics.max_pending_bytes = self.card.applet.max_pending_bytes
+
+    # -- results --------------------------------------------------------------------
+
+    @property
+    def view(self) -> str:
+        """The authorized view received so far."""
+        return self.state.output.decode("utf-8")
+
+    @property
+    def ok(self) -> bool:
+        return self.state.failed is None and self.state.document_done

@@ -1,0 +1,16 @@
+"""The untrusted Database Service Provider (DSP).
+
+"a DSP which hosts encrypted XML documents shared by users as well as
+encrypted access rules.  Both are encrypted using secret keys exchanged
+between users thanks to a public key infrastructure" (Section 3).
+
+The DSP sees only ciphertext; it can serve chunks by index (pull) or
+push them (dissemination).  :mod:`repro.dsp.tamper` implements the
+adversarial behaviours -- substitution, modification, reordering,
+truncation, version replay -- used by the security tests and E9.
+"""
+
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore, StoredDocument
+
+__all__ = ["DSPServer", "DSPStore", "StoredDocument"]

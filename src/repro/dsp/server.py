@@ -1,0 +1,56 @@
+"""The DSP's network front: ranged chunk service with cost accounting."""
+
+from __future__ import annotations
+
+from repro.crypto.container import DocumentHeader
+from repro.dsp.store import DSPStore
+from repro.smartcard.resources import NetworkModel, SimClock
+
+
+class DSPServer:
+    """Serves encrypted headers, chunks, rules and wrapped keys.
+
+    Every response is charged to the shared clock's ``network``
+    component and counted in ``bytes_served`` -- benchmark E2 reads the
+    transfer saving of the skip index from here.
+    """
+
+    def __init__(
+        self,
+        store: DSPStore | None = None,
+        network: NetworkModel | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.store = store or DSPStore()
+        self.network = network or NetworkModel()
+        self.clock = clock or SimClock()
+        self.bytes_served = 0
+        self.requests = 0
+
+    def _charge(self, nbytes: int) -> None:
+        self.bytes_served += nbytes
+        self.requests += 1
+        self.clock.add("network", self.network.request_overhead_seconds)
+        self.clock.add("network", self.network.transfer_seconds(nbytes))
+
+    # -- document service ------------------------------------------------
+
+    def get_header(self, doc_id: str) -> DocumentHeader:
+        header = self.store.get(doc_id).container.header
+        self._charge(64)  # serialized header is small and near-constant
+        return header
+
+    def get_chunk(self, doc_id: str, index: int) -> bytes:
+        blob = self.store.get(doc_id).container.chunks[index]
+        self._charge(len(blob))
+        return blob
+
+    def get_rules(self, doc_id: str) -> tuple[int, list[bytes]]:
+        stored = self.store.get(doc_id)
+        self._charge(sum(len(r) for r in stored.rule_records))
+        return stored.rules_version, list(stored.rule_records)
+
+    def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
+        blob = self.store.get(doc_id).wrapped_keys[recipient]
+        self._charge(len(blob))
+        return blob

@@ -1,0 +1,56 @@
+"""Persistent state of the untrusted store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.container import DocumentContainer
+
+
+@dataclass(slots=True)
+class StoredDocument:
+    """Everything the DSP holds for one document id.
+
+    ``rule_records`` are individually sealed rule blobs (the card
+    decrypts them one at a time); ``wrapped_keys`` maps recipients to
+    the document secret wrapped for them -- opaque to the DSP.
+    """
+
+    container: DocumentContainer
+    rule_records: list[bytes] = field(default_factory=list)
+    rules_version: int = 0
+    wrapped_keys: dict[str, bytes] = field(default_factory=dict)
+
+
+class DSPStore:
+    """A dictionary of encrypted documents; the DSP's disk."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, StoredDocument] = {}
+
+    def put_document(self, container: DocumentContainer) -> None:
+        doc_id = container.header.doc_id
+        existing = self._documents.get(doc_id)
+        if existing is not None:
+            existing.container = container
+        else:
+            self._documents[doc_id] = StoredDocument(container)
+
+    def get(self, doc_id: str) -> StoredDocument:
+        return self._documents[doc_id]
+
+    def put_rules(
+        self, doc_id: str, records: list[bytes], version: int
+    ) -> None:
+        stored = self._documents[doc_id]
+        stored.rule_records = list(records)
+        stored.rules_version = version
+
+    def put_wrapped_key(self, doc_id: str, recipient: str, blob: bytes) -> None:
+        self._documents[doc_id].wrapped_keys[recipient] = blob
+
+    def document_ids(self) -> list[str]:
+        return sorted(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents

@@ -1,0 +1,69 @@
+"""Adversarial DSP behaviours for the security evaluation (E9).
+
+Each function returns a *tampered copy* of a container, modelling what
+a compromised store or channel could attempt.  Section 2.1: "the only
+way to mislead the access control rule evaluator is to tamper the
+input document, for example by substituting or modifying encrypted
+blocks" -- the tests assert that the card detects every one of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.crypto.container import DocumentContainer
+
+
+def corrupt_chunk(container: DocumentContainer, index: int, bit: int = 0) -> DocumentContainer:
+    """Flip one bit inside an encrypted chunk (modification attack)."""
+    chunks = list(container.chunks)
+    blob = bytearray(chunks[index])
+    blob[bit // 8] ^= 1 << (bit % 8)
+    chunks[index] = bytes(blob)
+    return replace(container, chunks=tuple(chunks))
+
+
+def swap_chunks(container: DocumentContainer, a: int, b: int) -> DocumentContainer:
+    """Reorder two chunks (splicing attack)."""
+    chunks = list(container.chunks)
+    chunks[a], chunks[b] = chunks[b], chunks[a]
+    return replace(container, chunks=tuple(chunks))
+
+
+def substitute_chunk(
+    container: DocumentContainer,
+    index: int,
+    other: DocumentContainer,
+    other_index: int,
+) -> DocumentContainer:
+    """Replace a chunk with one from another document (substitution)."""
+    chunks = list(container.chunks)
+    chunks[index] = other.chunks[other_index]
+    return replace(container, chunks=tuple(chunks))
+
+
+def truncate(container: DocumentContainer, keep: int) -> DocumentContainer:
+    """Drop the tail of the document, adjusting the claimed count.
+
+    The header MAC covers the chunk count, so the card must reject the
+    forged header; the structural end-of-document check catches naive
+    truncation that keeps the original header.
+    """
+    header = replace(container.header, chunk_count=keep)
+    return DocumentContainer(header=header, chunks=container.chunks[:keep])
+
+
+def truncate_keeping_header(container: DocumentContainer, keep: int) -> DocumentContainer:
+    """Drop the tail but present the original (valid) header."""
+    return DocumentContainer(
+        header=container.header, chunks=container.chunks[:keep]
+    )
+
+
+def replay(old: DocumentContainer) -> DocumentContainer:
+    """Serve a stale but internally consistent version (replay attack).
+
+    Detection relies on the card's monotonic version register, not on
+    any MAC -- the old container is cryptographically valid.
+    """
+    return old

@@ -1,0 +1,395 @@
+"""Streaming decoder for the SXS format, with subtree skipping.
+
+This is the card-side component: it consumes decrypted plaintext bytes
+*incrementally* (the card never holds more than the current chunk),
+yields one decoded item at a time, and supports jumping over a subtree
+-- the caller reads the skip metadata exposed on :class:`DecodedOpen`,
+decides, and calls :meth:`SXSDecoder.skip_open_subtree`, after which
+the decoder discards buffered bytes in the region, synthesizes the
+matching close, and reports the absolute ``resume_offset`` so the proxy
+can stop transferring the skipped chunks at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skipindex.bitset import decode_relative, ids_from_bitmap
+from repro.skipindex.encoder import IndexMode, MAGIC, OP_CLOSE, OP_OPEN, OP_TEXT
+from repro.skipindex.tagdict import TagDictionary
+from repro.skipindex.varint import decode_bounded, decode_varint, width_for_bound
+from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
+
+
+class SXSFormatError(ValueError):
+    """Raised on malformed SXS input."""
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedOpen:
+    """An element open with its skip metadata.
+
+    ``tags_inside`` is the set of tag *names* occurring strictly inside
+    the subtree (``None`` when the stream carries no index);
+    ``resume_offset`` is the absolute offset just past the subtree
+    (``None`` without an index).
+    """
+
+    event: OpenEvent
+    tags_inside: frozenset[str] | None
+    content_size: int | None
+    resume_offset: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedText:
+    event: ValueEvent
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedClose:
+    event: CloseEvent
+    synthetic: bool = False  # True when produced by a skip
+
+
+DecodedItem = DecodedOpen | DecodedText | DecodedClose
+
+
+class _OpenFrame:
+    __slots__ = ("tag", "tags_inside", "content_size", "content_start")
+
+    def __init__(
+        self,
+        tag: str,
+        tags_inside: frozenset[int] | None,
+        content_size: int | None,
+        content_start: int,
+    ) -> None:
+        self.tag = tag
+        self.tags_inside = tags_inside
+        self.content_size = content_size
+        self.content_start = content_start
+
+
+@dataclass(frozen=True, slots=True)
+class FrameSnapshot:
+    """Decoder context of one open element (for skip-and-refetch)."""
+
+    tag: str
+    tags_inside: frozenset[int]
+    content_size: int
+    content_start: int
+
+
+class SXSDecoder:
+    """Incremental SXS reader (see module docstring).
+
+    Bytes are supplied with :meth:`push` (with an absolute offset when
+    resuming after a skip); items are pulled with :meth:`next_item`,
+    which returns ``None`` when more bytes are needed.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._buffer_start = 0  # absolute offset of _buffer[0]
+        self._mode: IndexMode | None = None
+        self.dictionary: TagDictionary | None = None
+        self._stack: list[_OpenFrame] = []
+        self._pending_close: list[str] = []
+        self._skip_target: int | None = None
+        self._document_done = False
+        self.bytes_decoded = 0
+
+    # -- input ----------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Absolute offset of the next byte to decode."""
+        return self._buffer_start
+
+    def push(self, data: bytes, offset: int | None = None) -> None:
+        """Append plaintext bytes.
+
+        ``offset`` is the absolute position of ``data[0]``; it defaults
+        to the current end of the buffer.  After a skip, pushed data may
+        begin before the resume offset (chunk alignment) -- the overlap
+        is discarded.
+        """
+        if offset is None:
+            offset = self._buffer_start + len(self._buffer)
+        expected = self._buffer_start + len(self._buffer)
+        if self._skip_target is not None and offset <= self._skip_target:
+            # Resuming after a skip: drop bytes before the target.
+            drop = self._skip_target - offset
+            if drop >= len(data):
+                return
+            data = data[drop:]
+            offset = self._skip_target
+            if not self._buffer:
+                self._buffer_start = offset
+            self._skip_target = None
+        elif offset != expected:
+            raise SXSFormatError(
+                f"non-contiguous push: expected offset {expected}, got {offset}"
+            )
+        self._buffer.extend(data)
+
+    def _consume(self, count: int) -> bytes:
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        self._buffer_start += count
+        self.bytes_decoded += count
+        return data
+
+    # -- header -----------------------------------------------------------
+
+    def _try_parse_header(self) -> bool:
+        if self.dictionary is not None:
+            return True
+        if len(self._buffer) < len(MAGIC) + 1:
+            return False
+        if bytes(self._buffer[: len(MAGIC)]) != MAGIC:
+            raise SXSFormatError("bad magic")
+        try:
+            mode = IndexMode(self._buffer[len(MAGIC)])
+        except ValueError as exc:
+            raise SXSFormatError("unknown index mode") from exc
+        try:
+            dictionary, offset = TagDictionary.decode(
+                bytes(self._buffer), len(MAGIC) + 1
+            )
+        except ValueError:
+            return False  # need more bytes
+        self._mode = mode
+        self.dictionary = dictionary
+        self._consume(offset)
+        return True
+
+    # -- item decoding -------------------------------------------------------
+
+    def next_item(self) -> DecodedItem | None:
+        """Decode and return the next item, or ``None`` if starved."""
+        if self._pending_close:
+            tag = self._pending_close.pop()
+            return DecodedClose(CloseEvent(tag), synthetic=True)
+        if self._skip_target is not None:
+            return None  # waiting for post-skip bytes
+        if not self._try_parse_header():
+            return None
+        if self._document_done:
+            return None
+        item = self._try_decode_token()
+        return item
+
+    def _try_decode_token(self) -> DecodedItem | None:
+        buffer = self._buffer
+        if not buffer:
+            return None
+        opcode = buffer[0]
+        if opcode == OP_CLOSE:
+            if not self._stack:
+                raise SXSFormatError("unbalanced CLOSE token")
+            frame = self._stack.pop()
+            self._consume(1)
+            if not self._stack:
+                self._document_done = True
+            return DecodedClose(CloseEvent(frame.tag))
+        if opcode == OP_TEXT:
+            try:
+                length, after = decode_varint(buffer, 1)
+            except ValueError:
+                return None
+            if len(buffer) < after + length:
+                return None
+            self._consume(after)
+            raw = self._consume(length)
+            return DecodedText(ValueEvent(raw.decode("utf-8")))
+        if opcode == OP_OPEN:
+            return self._try_decode_open()
+        raise SXSFormatError(f"unknown opcode {opcode:#x}")
+
+    def _try_decode_open(self) -> DecodedOpen | None:
+        assert self.dictionary is not None and self._mode is not None
+        buffer = bytes(self._buffer)
+        try:
+            tag_id, offset = decode_varint(buffer, 1)
+            n_attrs, offset = decode_varint(buffer, offset)
+            attributes: list[tuple[str, str]] = []
+            for _ in range(n_attrs):
+                name_len, offset = decode_varint(buffer, offset)
+                if offset + name_len > len(buffer):
+                    return None
+                name = buffer[offset:offset + name_len].decode("utf-8")
+                offset += name_len
+                value_len, offset = decode_varint(buffer, offset)
+                if offset + value_len > len(buffer):
+                    return None
+                value = buffer[offset:offset + value_len].decode("utf-8")
+                offset += value_len
+                attributes.append((name, value))
+            tags_inside_ids: frozenset[int] | None = None
+            content_size: int | None = None
+            if self._mode is IndexMode.FLAT:
+                content_size, offset = decode_varint(buffer, offset)
+                width = (len(self.dictionary) + 7) // 8
+                if offset + width > len(buffer):
+                    return None
+                tags_inside_ids = ids_from_bitmap(
+                    buffer[offset:offset + width], len(self.dictionary)
+                )
+                offset += width
+            elif self._mode is IndexMode.RECURSIVE:
+                if not self._stack:
+                    content_size, offset = decode_varint(buffer, offset)
+                    width = (len(self.dictionary) + 7) // 8
+                    if offset + width > len(buffer):
+                        return None
+                    tags_inside_ids = ids_from_bitmap(
+                        buffer[offset:offset + width], len(self.dictionary)
+                    )
+                    offset += width
+                else:
+                    parent = self._stack[-1]
+                    assert parent.content_size is not None
+                    assert parent.tags_inside is not None
+                    bound = (
+                        1 << (8 * width_for_bound(parent.content_size))
+                    ) - 1
+                    content_size, offset = decode_bounded(
+                        buffer, offset, bound
+                    )
+                    tags_inside_ids, offset = decode_relative(
+                        buffer, offset, parent.tags_inside
+                    )
+        except ValueError:
+            return None  # starved mid-token
+        try:
+            tag = self.dictionary.name_of(tag_id)
+        except IndexError as exc:
+            raise SXSFormatError(f"unknown tag id {tag_id}") from exc
+        self._consume(offset)
+        frame = _OpenFrame(
+            tag, tags_inside_ids, content_size, self._buffer_start
+        )
+        self._stack.append(frame)
+        tags_inside = (
+            self.dictionary.ids_to_names(tags_inside_ids)
+            if tags_inside_ids is not None
+            else None
+        )
+        resume = (
+            self._buffer_start + content_size
+            if content_size is not None
+            else None
+        )
+        return DecodedOpen(
+            OpenEvent(tag, tuple(attributes)),
+            tags_inside,
+            content_size,
+            resume,
+        )
+
+    # -- skipping ----------------------------------------------------------
+
+    def skip_open_subtree(self) -> int:
+        """Skip the content of the most recently opened element.
+
+        Must be called right after :meth:`next_item` returned the
+        corresponding :class:`DecodedOpen` (before pulling more items).
+        Returns the absolute resume offset; the next :meth:`next_item`
+        yields the synthetic close.
+        """
+        if not self._stack:
+            raise RuntimeError("no open element to skip")
+        frame = self._stack.pop()
+        if frame.content_size is None:
+            raise RuntimeError("stream carries no skip index")
+        if self._buffer_start != frame.content_start:
+            raise RuntimeError("content already consumed; too late to skip")
+        resume = frame.content_start + frame.content_size
+        buffered_end = self._buffer_start + len(self._buffer)
+        if resume <= buffered_end:
+            skipped = resume - self._buffer_start
+            self._consume(skipped)
+            self.bytes_decoded -= skipped  # skipped bytes are not decoded
+        else:
+            # Bytes in the buffer were never counted as decoded; just
+            # drop them and wait for the resume offset.
+            self._buffer.clear()
+            self._buffer_start = resume
+            self._skip_target = resume
+        self._pending_close.append(frame.tag)
+        if not self._stack:
+            self._document_done = True
+        return resume
+
+    def snapshot_top_frame(self) -> FrameSnapshot:
+        """Context of the innermost open element (for refetch seeding)."""
+        if not self._stack:
+            raise RuntimeError("no open element")
+        frame = self._stack[-1]
+        if frame.content_size is None or frame.tags_inside is None:
+            raise RuntimeError("stream carries no skip index")
+        return FrameSnapshot(
+            tag=frame.tag,
+            tags_inside=frame.tags_inside,
+            content_size=frame.content_size,
+            content_start=frame.content_start,
+        )
+
+    @classmethod
+    def for_region(
+        cls,
+        dictionary: TagDictionary,
+        mode: IndexMode,
+        tag: str,
+        tags_inside_ids: frozenset[int],
+        content_size: int,
+        content_start: int,
+    ) -> "SXSDecoder":
+        """A decoder seeded to read one subtree's content region.
+
+        Used by the refetch pass: recursive bitmaps and bounded sizes
+        need the parent context, which the snapshot provides.  The
+        region ends at the element's own close (``document_done``).
+        """
+        decoder = cls()
+        decoder._mode = mode
+        decoder.dictionary = dictionary
+        decoder._stack.append(
+            _OpenFrame(tag, tags_inside_ids, content_size, content_start)
+        )
+        decoder._buffer_start = content_start
+        decoder._skip_target = content_start  # trims pre-region chunk bytes
+        return decoder
+
+    @property
+    def mode(self) -> IndexMode | None:
+        return self._mode
+
+    @property
+    def next_needed_offset(self) -> int:
+        """Absolute offset of the first byte the decoder still needs."""
+        if self._skip_target is not None:
+            return self._skip_target
+        return self._buffer_start + len(self._buffer)
+
+    @property
+    def document_done(self) -> bool:
+        return self._document_done
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+def decode_document(data: bytes) -> list[Event]:
+    """Decode a complete SXS byte string back into events."""
+    decoder = SXSDecoder()
+    decoder.push(data)
+    events: list[Event] = []
+    while (item := decoder.next_item()) is not None:
+        events.append(item.event)
+    if not decoder.document_done:
+        raise SXSFormatError("truncated document")
+    return events

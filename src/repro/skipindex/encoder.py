@@ -1,0 +1,257 @@
+"""Encoder for the SXS (Skip-indexed XML Stream) format.
+
+The document owner runs this at publication time: the XML document is
+tokenized (tag dictionary), and each element is annotated with the two
+pieces of skip metadata of Section 2.3 -- "the set of element tags that
+appear in each subtree (to check whether an access rule automaton is
+likely to reach its final state) as well as the subtree size (to make
+the skip actually possible)".
+
+Wire format::
+
+    header := magic "SXS1" | flags(1) | tag dictionary
+    body   := token*
+    token  := OPEN  0x01 varint(tag_id) varint(n_attrs) attr* meta?
+            | TEXT  0x02 varint(len) utf8-bytes
+            | CLOSE 0x03
+    attr   := varint(len) utf8-name varint(len) utf8-value
+    meta   := size bitmap          (present unless IndexMode.NONE)
+
+``size`` counts the bytes of the element's *content region*: everything
+after the meta up to and including the matching CLOSE opcode, so that
+``resume_offset = content_start + size`` lands just past the subtree.
+
+In ``RECURSIVE`` mode the bitmap is parent-relative
+(:mod:`repro.skipindex.bitset`) and the size of a non-root element is
+stored width-bounded by its parent's content size
+(:mod:`repro.skipindex.varint`); widths and sizes are mutually
+dependent, so the encoder iterates to the least fixpoint -- both sides
+compute widths as the same pure function of the decoded sizes, keeping
+the format self-describing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.skipindex.bitset import bitmap_from_ids, encode_relative, relative_width
+from repro.skipindex.tagdict import TagDictionary
+from repro.skipindex.varint import (
+    encode_bounded,
+    encode_varint,
+    varint_size,
+    width_for_bound,
+)
+from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
+
+MAGIC = b"SXS1"
+
+OP_OPEN = 0x01
+OP_TEXT = 0x02
+OP_CLOSE = 0x03
+
+
+class IndexMode(enum.Enum):
+    """Which skip metadata is embedded (E4 ablates the three)."""
+
+    NONE = 0
+    FLAT = 1
+    RECURSIVE = 2
+
+
+class _Text:
+    __slots__ = ("data",)
+
+    def __init__(self, text: str) -> None:
+        self.data = text.encode("utf-8")
+
+
+class _Node:
+    __slots__ = (
+        "tag_id",
+        "attributes",
+        "children",
+        "tags_inside",
+        "content_size",
+        "size_width",
+    )
+
+    def __init__(self, tag_id: int, attributes: tuple[tuple[str, str], ...]) -> None:
+        self.tag_id = tag_id
+        self.attributes = attributes
+        self.children: list[_Node | _Text] = []
+        self.tags_inside: frozenset[int] = frozenset()
+        self.content_size = 0
+        self.size_width = 1  # bytes used by this node's own size field
+
+
+def _build_tree(
+    events: Iterable[Event], dictionary: TagDictionary
+) -> _Node:
+    root: _Node | None = None
+    stack: list[_Node] = []
+    for event in events:
+        if isinstance(event, OpenEvent):
+            node = _Node(dictionary.intern(event.tag), event.attributes)
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise ValueError("multiple root elements")
+            stack.append(node)
+        elif isinstance(event, ValueEvent):
+            if not stack:
+                raise ValueError("text outside the root element")
+            stack[-1].children.append(_Text(event.text))
+        elif isinstance(event, CloseEvent):
+            stack.pop()
+    if root is None or stack:
+        raise ValueError("incomplete event stream")
+    return root
+
+
+def _compute_tag_sets(node: _Node) -> frozenset[int]:
+    inside: set[int] = set()
+    for child in node.children:
+        if isinstance(child, _Node):
+            inside.add(child.tag_id)
+            inside.update(_compute_tag_sets(child))
+    node.tags_inside = frozenset(inside)
+    return node.tags_inside
+
+
+def _open_header_size(node: _Node) -> int:
+    """Bytes of an OPEN token before its meta."""
+    size = 1 + varint_size(node.tag_id) + varint_size(len(node.attributes))
+    for name, value in node.attributes:
+        raw_name = name.encode("utf-8")
+        raw_value = value.encode("utf-8")
+        size += varint_size(len(raw_name)) + len(raw_name)
+        size += varint_size(len(raw_value)) + len(raw_value)
+    return size
+
+
+def _child_meta_size(child: _Node, parent: _Node | None, mode: IndexMode, universe: int) -> int:
+    if mode is IndexMode.NONE:
+        return 0
+    if mode is IndexMode.FLAT:
+        return varint_size(child.content_size) + (universe + 7) // 8
+    # RECURSIVE
+    if parent is None:
+        size_bytes = varint_size(child.content_size)
+        bitmap_bytes = (universe + 7) // 8
+    else:
+        size_bytes = child.size_width
+        bitmap_bytes = relative_width(parent.tags_inside)
+    return size_bytes + bitmap_bytes
+
+
+def _compute_sizes(node: _Node, parent: _Node | None, mode: IndexMode, universe: int) -> None:
+    """One bottom-up pass computing content sizes with current widths."""
+    total = 0
+    for child in node.children:
+        if isinstance(child, _Node):
+            _compute_sizes(child, node, mode, universe)
+            total += (
+                _open_header_size(child)
+                + _child_meta_size(child, node, mode, universe)
+                + child.content_size
+            )
+        else:
+            total += 1 + varint_size(len(child.data)) + len(child.data)
+    total += 1  # the CLOSE opcode of this node
+    node.content_size = total
+
+
+def _update_widths(node: _Node) -> bool:
+    """Grow child size-field widths to match this node's content size."""
+    changed = False
+    width = width_for_bound(node.content_size)
+    for child in node.children:
+        if isinstance(child, _Node):
+            if width > child.size_width:
+                child.size_width = width
+                changed = True
+            if _update_widths(child):
+                changed = True
+    return changed
+
+
+def _serialize(
+    node: _Node,
+    parent: _Node | None,
+    mode: IndexMode,
+    universe: int,
+    out: bytearray,
+) -> None:
+    out.append(OP_OPEN)
+    out.extend(encode_varint(node.tag_id))
+    out.extend(encode_varint(len(node.attributes)))
+    for name, value in node.attributes:
+        raw_name = name.encode("utf-8")
+        raw_value = value.encode("utf-8")
+        out.extend(encode_varint(len(raw_name)))
+        out.extend(raw_name)
+        out.extend(encode_varint(len(raw_value)))
+        out.extend(raw_value)
+    if mode is IndexMode.FLAT:
+        out.extend(encode_varint(node.content_size))
+        out.extend(bitmap_from_ids(node.tags_inside, universe))
+    elif mode is IndexMode.RECURSIVE:
+        if parent is None:
+            out.extend(encode_varint(node.content_size))
+            out.extend(bitmap_from_ids(node.tags_inside, universe))
+        else:
+            bound = (1 << (8 * node.size_width)) - 1
+            out.extend(encode_bounded(node.content_size, bound))
+            out.extend(encode_relative(node.tags_inside, parent.tags_inside))
+    for child in node.children:
+        if isinstance(child, _Node):
+            _serialize(child, node, mode, universe, out)
+        else:
+            out.append(OP_TEXT)
+            out.extend(encode_varint(len(child.data)))
+            out.extend(child.data)
+    out.append(OP_CLOSE)
+
+
+def encode_document(
+    events: Iterable[Event],
+    mode: IndexMode = IndexMode.RECURSIVE,
+    dictionary: TagDictionary | None = None,
+) -> bytes:
+    """Encode an event stream into SXS bytes.
+
+    A pre-built ``dictionary`` may be supplied (e.g. shared across the
+    documents of a collection); missing tags are interned into it.
+    """
+    if dictionary is None:
+        dictionary = TagDictionary()
+    root = _build_tree(events, dictionary)
+    universe = len(dictionary)
+    _compute_tag_sets(root)
+    if mode is not IndexMode.NONE:
+        _compute_sizes(root, None, mode, universe)
+        if mode is IndexMode.RECURSIVE:
+            # Iterate widths/sizes to their least fixpoint (see module
+            # docstring); widths are monotone and bounded, so this
+            # terminates quickly (2-3 rounds in practice).
+            for _ in range(16):
+                changed = _update_widths(root)
+                _compute_sizes(root, None, mode, universe)
+                if not changed:
+                    break
+            else:  # pragma: no cover - defensive
+                raise RuntimeError("size-width fixpoint did not converge")
+    out = bytearray(MAGIC)
+    out.append(mode.value)
+    out.extend(dictionary.encode())
+    _serialize(root, None, mode, universe, out)
+    return bytes(out)
+
+
+def encoded_size(events: Iterable[Event], mode: IndexMode) -> int:
+    """Size in bytes of the document under the given index mode (E4)."""
+    return len(encode_document(list(events), mode))

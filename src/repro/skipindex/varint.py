@@ -1,0 +1,77 @@
+"""Unsigned LEB128 variable-length integers and width-bounded integers.
+
+Varints encode the unbounded quantities of the stream format (tag ids,
+text lengths, root subtree size).  Width-bounded integers implement the
+paper's "recursive compression of the subtree size": a child subtree
+can never be larger than its parent's content, so it is stored in just
+enough bytes for the parent's size, typically one.
+"""
+
+from __future__ import annotations
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def varint_size(value: int) -> int:
+    """Encoded size of ``value`` in bytes."""
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
+
+
+def width_for_bound(bound: int) -> int:
+    """Bytes needed to store any integer in ``[0, bound]``."""
+    width = 1
+    while bound > 0xFF:
+        bound >>= 8
+        width += 1
+    return width
+
+
+def encode_bounded(value: int, bound: int) -> bytes:
+    """Encode ``value`` in the fixed width implied by ``bound``."""
+    if not 0 <= value <= bound:
+        raise ValueError(f"value {value} outside [0, {bound}]")
+    return value.to_bytes(width_for_bound(bound), "little")
+
+
+def decode_bounded(data: bytes, offset: int, bound: int) -> tuple[int, int]:
+    """Decode a width-bounded integer; return ``(value, next_offset)``."""
+    width = width_for_bound(bound)
+    if offset + width > len(data):
+        raise ValueError("truncated bounded integer")
+    value = int.from_bytes(data[offset:offset + width], "little")
+    return value, offset + width

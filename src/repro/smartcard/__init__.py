@@ -1,0 +1,53 @@
+"""Smart-card Secure Operating Environment (SOE) simulator.
+
+The demonstrator ran on Axalto e-gate cards: "a powerful CPU and strong
+security features but still [...] a limited memory (only 1 KB of RAM
+available for on-board applications) and a low bandwidth (2 KB/s)"
+(Section 3).  We cannot ship that hardware, so this package models the
+three constraints that drive every result in the paper as first-class,
+measurable quantities:
+
+* :mod:`repro.smartcard.memory`    -- a secure-RAM meter with a hard
+  quota (default 1024 bytes) charged by every runtime structure;
+* :mod:`repro.smartcard.resources` -- a deterministic cycle-cost CPU
+  model and simulated clock (decryption and MAC cost per byte, automaton
+  transitions per event, EEPROM write latency);
+* :mod:`repro.smartcard.apdu`      -- the ISO 7816-ish APDU framing with
+  255-byte payloads over a 2 KB/s half-duplex link.
+
+:mod:`repro.smartcard.applet` is the on-card access-control engine: the
+:class:`~repro.core.pipeline.AccessController` wrapped with decryption,
+integrity checking and skip-index decisions; :mod:`repro.smartcard.card`
+is the APDU dispatcher around it.
+"""
+
+from repro.smartcard.apdu import CommandAPDU, ResponseAPDU, StatusWord
+from repro.smartcard.applet import CardApplet, PendingStrategy, RefetchRequest
+from repro.smartcard.card import SmartCard
+from repro.smartcard.memory import CardMemoryError, MemoryMeter
+from repro.smartcard.resources import CostModel, LinkModel, SimClock
+from repro.smartcard.secure_channel import (
+    CardSecureChannel,
+    HostSecureChannel,
+    SecureChannelError,
+)
+from repro.smartcard.soe import SecureOperatingEnvironment
+
+__all__ = [
+    "CardApplet",
+    "CardMemoryError",
+    "CardSecureChannel",
+    "CommandAPDU",
+    "CostModel",
+    "HostSecureChannel",
+    "LinkModel",
+    "MemoryMeter",
+    "PendingStrategy",
+    "RefetchRequest",
+    "ResponseAPDU",
+    "SecureChannelError",
+    "SecureOperatingEnvironment",
+    "SimClock",
+    "SmartCard",
+    "StatusWord",
+]

@@ -1,0 +1,108 @@
+"""APDU framing: the terminal <-> card protocol units.
+
+"APDU: Application Protocol Data Unit: communication protocol between
+the terminal and the smart card" (footnote 1 of the paper).  We model
+the ISO 7816-4 short form: a 5-byte command header, up to 255 bytes of
+command data, up to 256 bytes of response data plus a 2-byte status
+word.  The proxy splits every larger transfer into APDU sequences, and
+the link model charges each unit's bytes and fixed latency -- that is
+how the paper's 2 KB/s bottleneck shows up in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Instruction(enum.IntEnum):
+    """Applet instruction set."""
+
+    SELECT = 0xA4
+    BEGIN_SESSION = 0x10
+    PUT_HEADER = 0x12
+    PUT_RULES = 0x14
+    PUT_QUERY = 0x16
+    PUT_CHUNK = 0x20
+    END_DOCUMENT = 0x30
+    GET_OUTPUT = 0x40
+    BEGIN_REFETCH = 0x50
+    PUT_REFETCH_CHUNK = 0x52
+    ADMIN_PROVISION_KEY = 0x60
+    ADMIN_SET_VERSION = 0x62
+    SC_OPEN = 0x66
+    SC_ADMIN = 0x68
+    GET_STATUS = 0x70
+
+
+class StatusWord(enum.IntEnum):
+    """ISO-style status words returned by the card."""
+
+    OK = 0x9000
+    MORE_OUTPUT = 0x6100  # + low byte: pending output hint
+    SECURITY_STATUS_NOT_SATISFIED = 0x6982
+    CONDITIONS_NOT_SATISFIED = 0x6985
+    WRONG_DATA = 0x6A80
+    RECORD_NOT_FOUND = 0x6A83
+    MEMORY_FAILURE = 0x6581
+    INS_NOT_SUPPORTED = 0x6D00
+
+
+class APDUError(Exception):
+    """Raised by the proxy when the card reports an error status."""
+
+    def __init__(self, status: int, context: str) -> None:
+        super().__init__(f"card returned {status:#06x} during {context}")
+        self.status = status
+
+
+@dataclass(frozen=True, slots=True)
+class CommandAPDU:
+    """A command unit.  ``data`` must fit the short-form limit."""
+
+    ins: Instruction
+    p1: int = 0
+    p2: int = 0
+    data: bytes = b""
+    cla: int = 0x80
+
+    def __post_init__(self) -> None:
+        if len(self.data) > 255:
+            raise ValueError("short-form APDU data exceeds 255 bytes")
+        for name in ("p1", "p2", "cla"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFF:
+                raise ValueError(f"{name} out of byte range")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: CLA INS P1 P2 Lc + data."""
+        return 5 + len(self.data)
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseAPDU:
+    """A response unit: data plus status word."""
+
+    sw: int
+    data: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if len(self.data) > 256:
+            raise ValueError("short-form APDU response exceeds 256 bytes")
+
+    @property
+    def ok(self) -> bool:
+        return self.sw == StatusWord.OK or (self.sw & 0xFF00) == 0x6100
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: data + SW1 SW2."""
+        return len(self.data) + 2
+
+
+def split_payload(data: bytes, limit: int = 255) -> list[bytes]:
+    """Cut a transfer into APDU-sized pieces (at least one, maybe empty)."""
+    if not data:
+        return [b""]
+    return [data[i:i + limit] for i in range(0, len(data), limit)]

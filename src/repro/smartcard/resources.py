@@ -1,0 +1,139 @@
+"""Deterministic cost model and simulated clock.
+
+The original evaluation ([2]) ran on a cycle-accurate smart-card
+simulator; we keep that spirit with a coarse but deterministic cycle
+model.  Absolute numbers are calibration constants (documented below),
+relative behaviour -- decryption and transfer dominating, costs linear
+in bytes, automaton work linear in tokens -- reproduces the platform's.
+
+Defaults model an e-gate-class card: 33 MHz CPU, software XTEA at ~60
+cycles/byte, HMAC at ~50 cycles/byte, a 2 KB/s half-duplex serial link
+with per-APDU latency, and millisecond-scale EEPROM writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Cycle and latency constants for the simulated card."""
+
+    cpu_hz: float = 33_000_000.0
+    cycles_decrypt_per_byte: int = 60
+    cycles_mac_per_byte: int = 50
+    cycles_decode_per_byte: int = 10
+    cycles_per_event: int = 120
+    cycles_per_token_check: int = 25
+    cycles_per_token_advance: int = 60
+    cycles_per_condition: int = 80
+    cycles_per_output_byte: int = 8
+    eeprom_write_seconds_per_byte: float = 30e-6
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.cpu_hz
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """The terminal <-> card channel: 2 KB/s, 255-byte APDU payloads."""
+
+    bandwidth_bytes_per_second: float = 2048.0
+    apdu_overhead_seconds: float = 0.002
+    max_command_payload: int = 255
+    max_response_payload: int = 256
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_bytes_per_second
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """The terminal <-> DSP channel (broadband relative to the card)."""
+
+    bandwidth_bytes_per_second: float = 1_000_000.0
+    request_overhead_seconds: float = 0.005
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_bytes_per_second
+
+
+class SimClock:
+    """Accumulates simulated time per component.
+
+    Components are coarse ("card_cpu", "link", "network", "eeprom",
+    ...); the end-to-end latency model of experiment E6 is the sum --
+    the link is half-duplex and the card blocks on it, so the phases
+    serialize exactly as they do on the real reader.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    def add(self, component: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot run backwards")
+        self._seconds[component] = self._seconds.get(component, 0.0) + seconds
+
+    def component(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def breakdown(self) -> dict[str, float]:
+        return dict(self._seconds)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the current component times (for session deltas)."""
+        return dict(self._seconds)
+
+    def since(self, snapshot: dict[str, float]) -> "SimClock":
+        """A new clock holding the time elapsed since ``snapshot``.
+
+        Sessions share one global clock (card, link, network); each
+        session's metrics report the difference.
+        """
+        delta = SimClock()
+        for component, seconds in self._seconds.items():
+            elapsed = seconds - snapshot.get(component, 0.0)
+            if elapsed > 0:
+                delta.add(component, elapsed)
+        return delta
+
+    def reset(self) -> None:
+        self._seconds.clear()
+
+
+@dataclass
+class SessionMetrics:
+    """Everything a benchmark wants to know about one card session."""
+
+    bytes_from_dsp: int = 0
+    bytes_to_card: int = 0
+    bytes_from_card: int = 0
+    bytes_decrypted: int = 0
+    bytes_skipped: int = 0
+    chunks_sent: int = 0
+    chunks_skipped: int = 0
+    apdu_count: int = 0
+    output_bytes: int = 0
+    refetch_count: int = 0
+    refetch_bytes: int = 0
+    ram_high_water: int = 0
+    max_pending_bytes: int = 0
+    card_cycles: float = 0.0
+    clock: SimClock = field(default_factory=SimClock)
+
+    def as_dict(self) -> dict[str, float]:
+        result = {
+            key: value
+            for key, value in self.__dict__.items()
+            if isinstance(value, (int, float))
+        }
+        result.update(
+            {f"time_{k}": v for k, v in self.clock.breakdown().items()}
+        )
+        result["time_total"] = self.clock.total()
+        return result

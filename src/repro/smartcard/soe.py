@@ -1,0 +1,99 @@
+"""The Secure Operating Environment abstraction.
+
+Section 2.1's three assumptions, made concrete:
+
+1. "the code executed by the SOE cannot be corrupted" -- implicit (the
+   simulator *is* the code);
+2. "the SOE has at least a small quantity of secure stable storage (to
+   store secrets like encryption keys)" -- :attr:`eeprom`, a persistent
+   map with realistic write latency, holding the key ring and the
+   per-document version registers that defeat replay;
+3. "the SOE has at least a small quantity of secure working memory (to
+   protect sensitive data structures at processing time)" --
+   :attr:`memory`, the quota-enforcing RAM meter.
+
+All CPU work is charged in cycles through this object so that a session
+ends with a deterministic, reproducible time breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import DocumentKeys, KeyRing
+from repro.smartcard.memory import DEFAULT_QUOTA, MemoryMeter
+from repro.smartcard.resources import CostModel, SimClock
+
+
+class SecureOperatingEnvironment:
+    """RAM + EEPROM + cycle-accounted CPU + crypto unit."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        ram_quota: int | None = DEFAULT_QUOTA,
+        strict_memory: bool = True,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.cost = cost_model or CostModel()
+        self.memory = MemoryMeter(ram_quota, strict=strict_memory)
+        self.clock = clock or SimClock()
+        self.keyring = KeyRing()
+        self._version_registers: dict[str, int] = {}
+        self.cycles_used = 0.0
+        self.eeprom_bytes_written = 0
+
+    # -- CPU ----------------------------------------------------------------
+
+    def charge_cycles(self, cycles: float) -> None:
+        """Account CPU work and advance the simulated clock."""
+        self.cycles_used += cycles
+        self.clock.add("card_cpu", self.cost.seconds(cycles))
+
+    def charge_decrypt(self, nbytes: int) -> None:
+        self.charge_cycles(nbytes * self.cost.cycles_decrypt_per_byte)
+
+    def charge_mac(self, nbytes: int) -> None:
+        self.charge_cycles(nbytes * self.cost.cycles_mac_per_byte)
+
+    def charge_decode(self, nbytes: int) -> None:
+        self.charge_cycles(nbytes * self.cost.cycles_decode_per_byte)
+
+    def charge_output(self, nbytes: int) -> None:
+        self.charge_cycles(nbytes * self.cost.cycles_per_output_byte)
+
+    # -- EEPROM (secure stable storage) ----------------------------------------
+
+    def eeprom_write(self, nbytes: int) -> None:
+        """Charge a stable-storage write (slow: ~30 us/byte)."""
+        self.eeprom_bytes_written += nbytes
+        self.clock.add("eeprom", nbytes * self.cost.eeprom_write_seconds_per_byte)
+
+    def provision_key(self, doc_id: str, secret: bytes) -> None:
+        """Install a document secret (admin / secure channel)."""
+        self.keyring.grant(doc_id, secret)
+        self.eeprom_write(len(doc_id) + len(secret))
+
+    def keys_for(self, doc_id: str) -> DocumentKeys:
+        return self.keyring.keys_for(doc_id)
+
+    # -- replay protection ------------------------------------------------------
+
+    def version_register(self, doc_id: str) -> int:
+        """Last accepted version for a document (0 if never seen)."""
+        return self._version_registers.get(doc_id, 0)
+
+    def advance_version_register(self, doc_id: str, version: int) -> None:
+        """Monotonically raise the register (EEPROM write)."""
+        current = self._version_registers.get(doc_id, 0)
+        if version > current:
+            self._version_registers[doc_id] = version
+            self.eeprom_write(8)
+
+    def admin_set_version_register(self, doc_id: str, version: int) -> None:
+        """Force the register (owner recovery via the secure channel)."""
+        self._version_registers[doc_id] = version
+        self.eeprom_write(8)
+
+    def revoke_key(self, doc_id: str) -> None:
+        """Erase a document secret (secure-channel revocation)."""
+        self.keyring.revoke(doc_id)
+        self.eeprom_write(len(doc_id))

@@ -1,0 +1,19 @@
+"""The user terminal: proxy, publisher API and session wiring.
+
+"a terminal connected to the smart card.  It contains a proxy allowing
+the applications to communicate easily with the different elements of
+the architecture through an XML API independent of the underlying
+protocols (JDBC, APDU)" (Section 3).
+"""
+
+from repro.terminal.api import AuthorizedResult, Publisher
+from repro.terminal.proxy import CardProxy, ProxyError
+from repro.terminal.session import Terminal
+
+__all__ = [
+    "AuthorizedResult",
+    "CardProxy",
+    "ProxyError",
+    "Publisher",
+    "Terminal",
+]

@@ -1,0 +1,340 @@
+"""The terminal-side proxy: XML API above, APDUs and DSP calls below.
+
+The proxy owns the *mechanics* of a session: fetching encrypted chunks
+from the DSP, framing them into APDUs, honouring the card's skip
+directives (it simply does not fetch or transmit skipped chunks -- that
+is where the bandwidth saving of the skip index materializes), draining
+the card's authorized output, and replaying byte ranges for granted
+refetches.  It never sees a decryption key: everything through here is
+ciphertext or already-authorized output.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.delivery import ViewMode
+from repro.smartcard.apdu import (
+    APDUError,
+    CommandAPDU,
+    Instruction,
+    ResponseAPDU,
+    StatusWord,
+)
+from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.card import SmartCard, encode_header
+from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
+from repro.dsp.server import DSPServer
+
+_FLAG_HAS_QUERY = 0x01
+_FLAG_REFETCH = 0x02
+_FLAG_PRUNE = 0x04
+
+
+class ProxyError(Exception):
+    """A session failed (card refused, integrity violation, ...)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(slots=True)
+class QueryOutcome:
+    """Result of one pull session through the card."""
+
+    xml: str
+    fragments: list[tuple[int, str]] = field(default_factory=list)
+    metrics: SessionMetrics = field(default_factory=SessionMetrics)
+
+
+class CardProxy:
+    """Drives one smart card against one DSP."""
+
+    def __init__(
+        self,
+        card: SmartCard,
+        dsp: DSPServer,
+        link: LinkModel | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.card = card
+        self.dsp = dsp
+        self.link = link or LinkModel()
+        self.clock = clock or dsp.clock
+        self._selected = False
+
+    # -- link ------------------------------------------------------------
+
+    def _transmit(
+        self, command: CommandAPDU, metrics: SessionMetrics, context: str
+    ) -> ResponseAPDU:
+        """Send one APDU over the 2 KB/s link and account for it."""
+        response = self.card.process(command)
+        nbytes = command.wire_size + response.wire_size
+        metrics.apdu_count += 1
+        metrics.bytes_to_card += command.wire_size
+        metrics.bytes_from_card += response.wire_size
+        self.clock.add("link", self.link.apdu_overhead_seconds)
+        self.clock.add("link", self.link.transfer_seconds(nbytes))
+        if not response.ok:
+            raise ProxyError(
+                f"card error {response.sw:#06x} during {context}",
+                status=response.sw,
+            )
+        return response
+
+    def select(self, metrics: SessionMetrics | None = None) -> None:
+        metrics = metrics or SessionMetrics()
+        self._transmit(
+            CommandAPDU(Instruction.SELECT, data=b"repro.applet"),
+            metrics,
+            "select",
+        )
+        self._selected = True
+
+    def provision_key(self, doc_id: str, secret: bytes) -> None:
+        """Install a document secret over the (simulated) secure channel."""
+        metrics = SessionMetrics()
+        if not self._selected:
+            self.select(metrics)
+        doc = doc_id.encode("utf-8")
+        self._transmit(
+            CommandAPDU(
+                Instruction.ADMIN_PROVISION_KEY,
+                data=bytes([len(doc)]) + doc + secret,
+            ),
+            metrics,
+            "provision key",
+        )
+
+    # -- output draining -----------------------------------------------------
+
+    def _drain_output(
+        self, metrics: SessionMetrics, sink: bytearray, last: ResponseAPDU
+    ) -> None:
+        response = last
+        while (response.sw & 0xFF00) == 0x6100:
+            response = self._transmit(
+                CommandAPDU(Instruction.GET_OUTPUT), metrics, "get output"
+            )
+            sink.extend(response.data)
+            metrics.output_bytes += len(response.data)
+
+    # -- pull session ------------------------------------------------------------
+
+    def query(
+        self,
+        doc_id: str,
+        subject: str,
+        query: str | None = None,
+        strategy: PendingStrategy = PendingStrategy.BUFFER,
+        view_mode: ViewMode = ViewMode.SKELETON,
+        groups: frozenset[str] = frozenset(),
+    ) -> QueryOutcome:
+        """Run a full pull session: fetch, filter, return the view."""
+        metrics = SessionMetrics()
+        clock_snapshot = self.clock.snapshot()
+        cycles_snapshot = self.card.soe.cycles_used
+        if not self._selected:
+            self.select(metrics)
+        self._begin(doc_id, subject, query, strategy, view_mode, groups, metrics)
+        header = self.dsp.get_header(doc_id)
+        metrics.bytes_from_dsp += 64
+        self._transmit(
+            CommandAPDU(Instruction.PUT_HEADER, data=encode_header(header)),
+            metrics,
+            "put header",
+        )
+        self._send_rules(doc_id, metrics)
+        output = bytearray()
+        chunk_cache: dict[int, bytes] = {}
+        self._stream_document(doc_id, header, metrics, output, chunk_cache)
+        fragments = self._run_refetches(
+            doc_id, header, metrics, chunk_cache
+        )
+        self._fill_card_stats(metrics)
+        metrics.clock = self.clock.since(clock_snapshot)
+        metrics.card_cycles = self.card.soe.cycles_used - cycles_snapshot
+        return QueryOutcome(
+            xml=output.decode("utf-8"),
+            fragments=fragments,
+            metrics=metrics,
+        )
+
+    def _begin(
+        self,
+        doc_id: str,
+        subject: str,
+        query: str | None,
+        strategy: PendingStrategy,
+        view_mode: ViewMode,
+        groups: frozenset[str],
+        metrics: SessionMetrics,
+    ) -> None:
+        flags = 0
+        payload = b""
+        if query is not None:
+            flags |= _FLAG_HAS_QUERY
+            raw = query.encode("utf-8")
+            payload = struct.pack(">H", len(raw)) + raw
+        if groups:
+            payload += bytes([len(groups)])
+            for group in sorted(groups):
+                raw_group = group.encode("utf-8")
+                payload += bytes([len(raw_group)]) + raw_group
+        if strategy is PendingStrategy.REFETCH:
+            flags |= _FLAG_REFETCH
+        if view_mode is ViewMode.PRUNE:
+            flags |= _FLAG_PRUNE
+        doc = doc_id.encode("utf-8")
+        subj = subject.encode("utf-8")
+        data = (
+            bytes([flags, len(doc)])
+            + doc
+            + bytes([len(subj)])
+            + subj
+            + payload
+        )
+        self._transmit(
+            CommandAPDU(Instruction.BEGIN_SESSION, data=data),
+            metrics,
+            "begin session",
+        )
+
+    def _send_rules(self, doc_id: str, metrics: SessionMetrics) -> None:
+        version, records = self.dsp.get_rules(doc_id)
+        metrics.bytes_from_dsp += sum(len(r) for r in records)
+        for index, record in enumerate(records):
+            data = struct.pack(">Q", version) + record
+            self._transmit(
+                CommandAPDU(
+                    Instruction.PUT_RULES,
+                    p1=index >> 8,
+                    p2=index & 0xFF,
+                    data=data,
+                ),
+                metrics,
+                f"put rule {index}",
+            )
+
+    def _stream_document(
+        self,
+        doc_id: str,
+        header,
+        metrics: SessionMetrics,
+        output: bytearray,
+        chunk_cache: dict[int, bytes],
+    ) -> None:
+        index = 0
+        while index < header.chunk_count:
+            try:
+                blob = self.dsp.get_chunk(doc_id, index)
+            except (IndexError, KeyError) as exc:
+                raise ProxyError(
+                    f"DSP could not serve chunk {index} of {doc_id!r} "
+                    "(truncated document?)"
+                ) from exc
+            chunk_cache[index] = blob
+            metrics.bytes_from_dsp += len(blob)
+            metrics.chunks_sent += 1
+            response = self._transmit(
+                CommandAPDU(
+                    Instruction.PUT_CHUNK,
+                    p1=index >> 8,
+                    p2=index & 0xFF,
+                    data=blob,
+                ),
+                metrics,
+                f"put chunk {index}",
+            )
+            next_offset, done = struct.unpack(">QB", response.data[:9])
+            self._drain_output(metrics, output, response)
+            if done:
+                break
+            next_index = max(index + 1, next_offset // header.chunk_size)
+            metrics.chunks_skipped += next_index - index - 1
+            index = next_index
+        response = self._transmit(
+            CommandAPDU(Instruction.END_DOCUMENT), metrics, "end document"
+        )
+        self._refetch_entries = self._parse_refetch_pages(response, metrics)
+        self._drain_output(metrics, output, response)
+
+    def _parse_refetch_pages(
+        self, first: ResponseAPDU, metrics: SessionMetrics
+    ) -> list[tuple[int, int, int]]:
+        total = struct.unpack(">H", first.data[:2])[0]
+        entries: list[tuple[int, int, int]] = []
+        data = first.data[2:]
+        page = 0
+        while True:
+            for position in range(0, len(data), 18):
+                entry_id, start, end = struct.unpack(
+                    ">HQQ", data[position:position + 18]
+                )
+                entries.append((entry_id, start, end))
+            if len(entries) >= total:
+                return entries
+            page += 1
+            response = self._transmit(
+                CommandAPDU(Instruction.END_DOCUMENT, p1=page),
+                metrics,
+                f"end document page {page}",
+            )
+            data = response.data[2:]
+
+    def _run_refetches(
+        self,
+        doc_id: str,
+        header,
+        metrics: SessionMetrics,
+        chunk_cache: dict[int, bytes],
+    ) -> list[tuple[int, str]]:
+        fragments: list[tuple[int, str]] = []
+        for entry_id, start, end in getattr(self, "_refetch_entries", []):
+            metrics.refetch_count += 1
+            sink = bytearray()
+            self._transmit(
+                CommandAPDU(
+                    Instruction.BEGIN_REFETCH,
+                    p1=entry_id >> 8,
+                    p2=entry_id & 0xFF,
+                ),
+                metrics,
+                f"begin refetch {entry_id}",
+            )
+            first_chunk = start // header.chunk_size
+            last_chunk = (end - 1) // header.chunk_size
+            for index in range(first_chunk, last_chunk + 1):
+                blob = chunk_cache.get(index)
+                if blob is None:
+                    blob = self.dsp.get_chunk(doc_id, index)
+                    chunk_cache[index] = blob
+                    metrics.bytes_from_dsp += len(blob)
+                metrics.refetch_bytes += len(blob)
+                response = self._transmit(
+                    CommandAPDU(
+                        Instruction.PUT_REFETCH_CHUNK,
+                        p1=index >> 8,
+                        p2=index & 0xFF,
+                        data=blob,
+                    ),
+                    metrics,
+                    f"refetch chunk {index}",
+                )
+                __, done = struct.unpack(">QB", response.data[:9])
+                self._drain_output(metrics, sink, response)
+                if done:
+                    break
+            fragments.append((entry_id, sink.decode("utf-8")))
+        return fragments
+
+    def _fill_card_stats(self, metrics: SessionMetrics) -> None:
+        soe = self.card.soe
+        metrics.ram_high_water = soe.memory.high_water
+        metrics.card_cycles = soe.cycles_used
+        metrics.bytes_decrypted = self.card.applet.bytes_decrypted
+        metrics.bytes_skipped = self.card.applet.bytes_skipped
+        metrics.max_pending_bytes = self.card.applet.max_pending_bytes

@@ -1,0 +1,86 @@
+"""End-to-end session wiring: one user's terminal with its card.
+
+A :class:`Terminal` owns a smart card, a proxy to a DSP and the user's
+PKI identity.  ``unlock_document`` pulls the wrapped document secret
+from the DSP, unwraps it with the user's key pair and provisions the
+card over the (simulated) secure channel -- after that, ``query`` runs
+entire pull sessions through the card.
+"""
+
+from __future__ import annotations
+
+from repro.core.delivery import ViewMode
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp.server import DSPServer
+from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.card import SmartCard
+from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
+from repro.smartcard.soe import SecureOperatingEnvironment
+from repro.terminal.api import AuthorizedResult
+from repro.terminal.proxy import CardProxy
+
+
+class Terminal:
+    """A user terminal hosting a smart card (Figure 3)."""
+
+    def __init__(
+        self,
+        user: str,
+        dsp: DSPServer,
+        pki: SimulatedPKI,
+        card: SmartCard | None = None,
+        link: LinkModel | None = None,
+        ram_quota: int | None = 1024,
+        strict_memory: bool = True,
+    ) -> None:
+        self.user = user
+        self.dsp = dsp
+        self.pki = pki
+        self.clock = dsp.clock
+        if card is None:
+            soe = SecureOperatingEnvironment(
+                ram_quota=ram_quota,
+                strict_memory=strict_memory,
+                clock=self.clock,
+            )
+            card = SmartCard(soe)
+        self.card = card
+        self.proxy = CardProxy(card, dsp, link=link, clock=self.clock)
+        self._unlocked: set[str] = set()
+
+    def unlock_document(self, doc_id: str, owner: str) -> None:
+        """Fetch + unwrap the document secret, provision the card."""
+        if doc_id in self._unlocked:
+            return
+        wrapped = self.dsp.get_wrapped_key(doc_id, self.user)
+        secret = self.pki.unwrap_secret(self.user, owner, wrapped)
+        self.proxy.provision_key(doc_id, secret)
+        self._unlocked.add(doc_id)
+
+    def query(
+        self,
+        doc_id: str,
+        query: str | None = None,
+        owner: str | None = None,
+        subject: str | None = None,
+        strategy: PendingStrategy = PendingStrategy.BUFFER,
+        view_mode: ViewMode = ViewMode.SKELETON,
+        groups: frozenset[str] = frozenset(),
+    ) -> tuple[AuthorizedResult, SessionMetrics]:
+        """Run one pull session; returns the view and its metrics.
+
+        ``groups`` carries the user's roles -- rules written for any of
+        them apply alongside rules written for the user by name.
+        """
+        if owner is not None:
+            self.unlock_document(doc_id, owner)
+        outcome = self.proxy.query(
+            doc_id,
+            subject or self.user,
+            query=query,
+            strategy=strategy,
+            view_mode=view_mode,
+            groups=groups,
+        )
+        result = AuthorizedResult(xml=outcome.xml, fragments=outcome.fragments)
+        return result, outcome.metrics

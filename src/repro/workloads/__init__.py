@@ -1,0 +1,45 @@
+"""Synthetic workloads standing in for the demo's datasets.
+
+The original demonstrator used real collaborative and multimedia data
+we do not have; these seeded generators produce documents with the
+same structural shapes (see DESIGN.md, substitution table):
+
+* :func:`hospital`      -- deep, regular medical records (the paper's
+  recurring motivating example, with sensitive branches);
+* :func:`bibliography`  -- shallow, bushy publication records;
+* :func:`agenda`        -- the collaborative-community application;
+* :func:`video_catalog` -- the multimedia-dissemination application;
+* :func:`nested`        -- parametric depth/fan-out sweeps (E5).
+
+:mod:`repro.workloads.rulegen` provides matching access-control
+profiles, :mod:`repro.workloads.querygen` matching query mixes.
+"""
+
+from repro.workloads.docgen import (
+    agenda,
+    bibliography,
+    hospital,
+    nested,
+    video_catalog,
+)
+from repro.workloads.rulegen import (
+    agenda_rules,
+    hospital_rules,
+    parental_rules,
+    synthetic_rules,
+)
+from repro.workloads.querygen import hospital_queries, random_query
+
+__all__ = [
+    "agenda",
+    "agenda_rules",
+    "bibliography",
+    "hospital",
+    "hospital_queries",
+    "hospital_rules",
+    "nested",
+    "parental_rules",
+    "random_query",
+    "synthetic_rules",
+    "video_catalog",
+]

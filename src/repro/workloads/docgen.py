@@ -1,0 +1,196 @@
+"""Seeded synthetic XML document generators.
+
+Every generator is deterministic in its ``seed`` so benchmark rows are
+reproducible run to run.  Sizes scale linearly with the count
+parameters, letting the harness sweep document size (E1) without
+changing shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlstream.tree import Element
+
+_FIRST_NAMES = [
+    "Alice", "Bruno", "Carla", "Deng", "Elsa", "Farid", "Greta", "Hugo",
+    "Ines", "Jonas", "Karim", "Lena", "Marco", "Nadia", "Omar", "Paula",
+]
+_DIAGNOSES = [
+    "influenza", "fracture", "hypertension", "diabetes", "migraine",
+    "asthma", "allergy", "bronchitis",
+]
+_DRUGS = [
+    "paracetamol", "ibuprofen", "amoxicillin", "insulin", "salbutamol",
+    "atorvastatin",
+]
+_WARDS = ["cardiology", "orthopedics", "pediatrics", "oncology"]
+_CATEGORIES = ["news", "sports", "cartoons", "documentary", "movies"]
+_RATINGS = ["G", "PG", "PG13", "R"]
+
+
+def hospital(
+    n_patients: int = 20,
+    episodes_per_patient: int = 3,
+    seed: int = 7,
+) -> Element:
+    """Deep, regular medical records with sensitive branches.
+
+    Structure: ``hospital/ward/patient/{name,ssn,episode*,billing}``;
+    episodes carry diagnosis and prescriptions, roughly one patient in
+    four has a ``psychiatric`` episode branch -- the classic "doctor
+    sees everything except psychiatric records" target.
+    """
+    rng = random.Random(seed)
+    root = Element("hospital")
+    wards = {name: root.child("ward", name=name) for name in _WARDS}
+    for index in range(n_patients):
+        ward = wards[_WARDS[index % len(_WARDS)]]
+        patient = ward.child("patient", id=f"p{index}")
+        name = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+        patient.child("name", name)
+        patient.child("ssn", f"{rng.randrange(10**8):08d}")
+        for episode_index in range(episodes_per_patient):
+            episode = patient.child("episode", date=f"2005-0{1 + episode_index % 9}-11")
+            diagnosis = rng.choice(_DIAGNOSES)
+            episode.child("diagnosis", diagnosis)
+            episode.child(
+                "notes",
+                f"Patient presented with {diagnosis}; clinical examination "
+                f"unremarkable, follow-up scheduled in {rng.randrange(2, 9)} "
+                f"weeks, case reference {rng.randrange(10**6):06d}.",
+            )
+            prescription = episode.child("prescription")
+            prescription.child("drug", rng.choice(_DRUGS))
+            prescription.child("dose", f"{rng.randrange(1, 4)}/day")
+            if index % 4 == 0 and episode_index == 0:
+                psychiatric = episode.child("psychiatric")
+                psychiatric.child(
+                    "evaluation",
+                    "Confidential psychiatric evaluation notes, restricted "
+                    "to the treating specialist under hospital policy.",
+                )
+        billing = patient.child("billing")
+        billing.child("amount", str(rng.randrange(50, 900)))
+        billing.child("insurance", f"INS-{rng.randrange(1000):04d}")
+    return root
+
+
+def bibliography(n_entries: int = 50, seed: int = 11) -> Element:
+    """Shallow, bushy publication records (SIGMOD-record shaped)."""
+    rng = random.Random(seed)
+    root = Element("bibliography")
+    for index in range(n_entries):
+        entry = root.child("article", key=f"a{index}")
+        entry.child("title", f"On the {rng.choice(['safety', 'cost', 'power'])} "
+                             f"of {rng.choice(['streams', 'cards', 'indexes'])} {index}")
+        authors = entry.child("authors")
+        for __ in range(rng.randrange(1, 4)):
+            authors.child("author", rng.choice(_FIRST_NAMES))
+        entry.child("year", str(rng.randrange(1995, 2006)))
+        entry.child("pages", f"{rng.randrange(1, 500)}-{rng.randrange(500, 900)}")
+        if rng.random() < 0.3:
+            review = entry.child("review")
+            review.child("score", str(rng.randrange(1, 6)))
+            review.child("comment", "internal referee notes")
+    return root
+
+
+def agenda(
+    n_members: int = 6,
+    events_per_member: int = 8,
+    seed: int = 13,
+) -> Element:
+    """The collaborative-community dataset (demo application 1).
+
+    Each member owns events; some are flagged private, some reference
+    other members as participants -- the sharing policies evolve over
+    time, which is experiment E8's scenario.
+    """
+    rng = random.Random(seed)
+    root = Element("agenda")
+    members = [_FIRST_NAMES[i % len(_FIRST_NAMES)].lower() for i in range(n_members)]
+    for member in members:
+        section = root.child("member", name=member)
+        section.child("owner", member)
+        for event_index in range(events_per_member):
+            event = section.child("event", id=f"{member}-{event_index}")
+            event.child("title", f"meeting {event_index}")
+            event.child("date", f"2005-06-{1 + event_index % 27:02d}")
+            event.child("time", f"{8 + event_index % 10}:00")
+            participants = event.child("participants")
+            for other in rng.sample(members, k=min(2, len(members))):
+                participants.child("participant", other)
+            if rng.random() < 0.25:
+                private = event.child("private")
+                private.child("notes", "personal notes")
+    return root
+
+
+def video_catalog(
+    n_videos: int = 30,
+    seed: int = 17,
+    payload: int = 120,
+    flat: bool = False,
+) -> Element:
+    """The multimedia-stream dataset (demo application 2).
+
+    By default segments are grouped under one section element per
+    category (``/stream/news/segment``, ...) -- the shape broadcasters
+    use and the one that gives the skip index *coarse* regions: a
+    subscriber without the ``sports`` tier skips the whole ``sports``
+    section in one jump (experiments E2, E7).  ``flat=True`` keeps the
+    historical flat shape (segments directly under the root), used to
+    contrast fine- vs coarse-grained skipping.
+
+    Every segment carries rating/category metadata (parental-control
+    rules use value predicates on them) and an opaque payload standing
+    in for ``payload`` bytes of media data.
+    """
+    rng = random.Random(seed)
+    root = Element("stream", {"channel": "demo"})
+    sections: dict[str, Element] = {}
+
+    def section_for(category: str) -> Element:
+        if flat:
+            return root
+        node = sections.get(category)
+        if node is None:
+            node = root.child(category)
+            sections[category] = node
+        return node
+
+    for index in range(n_videos):
+        category = _CATEGORIES[index % len(_CATEGORIES)]
+        segment = section_for(category).child("segment", id=f"s{index}")
+        meta = segment.child("meta")
+        meta.child("title", f"program {index}")
+        meta.child("rating", _RATINGS[index % len(_RATINGS)])
+        meta.child("category", category)
+        data = segment.child("payload")
+        data.add_text(
+            "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ") for _ in range(payload))
+        )
+    return root
+
+
+def nested(depth: int = 8, fanout: int = 2, seed: int = 19) -> Element:
+    """A parametric tree for depth/RAM sweeps (E5).
+
+    Tags cycle through a fixed alphabet so descendant rules stay busy
+    at every level.
+    """
+    rng = random.Random(seed)
+    tags = ["n0", "n1", "n2", "n3"]
+
+    def build(node: Element, level: int) -> None:
+        if level >= depth:
+            node.add_text(str(rng.randrange(100)))
+            return
+        for index in range(fanout):
+            child = node.child(tags[(level + index) % len(tags)])
+            build(child, level + 1)
+
+    root = Element("root")
+    build(root, 0)
+    return root

@@ -1,0 +1,30 @@
+"""Query mixes for the pull scenario."""
+
+from __future__ import annotations
+
+import random
+
+HOSPITAL_QUERIES = [
+    "//diagnosis",
+    "//patient/name",
+    "//prescription/drug",
+    "//episode[diagnosis = \"influenza\"]",
+    "//ward//billing",
+    "//patient[name = \"Alice\"]",
+]
+
+
+def hospital_queries() -> list[str]:
+    """The fixed query mix used by the pull benchmarks."""
+    return list(HOSPITAL_QUERIES)
+
+
+def random_query(tags: list[str], seed: int = 31, max_steps: int = 3) -> str:
+    """A random query in the fragment over the given tag alphabet."""
+    rng = random.Random(seed)
+    steps = []
+    for __ in range(rng.randrange(1, max_steps + 1)):
+        axis = "//" if rng.random() < 0.6 else "/"
+        steps.append(f"{axis}{rng.choice(tags)}")
+    query = "".join(steps)
+    return query if query.startswith("/") else "/" + query

@@ -1,0 +1,163 @@
+"""Access-control profiles matching the synthetic datasets.
+
+The hospital profile mirrors the motivating examples of the paper and
+its companion ([2]): role-specific, value-dependent, exception-ridden
+policies that no static encryption scheme can follow cheaply.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.rules import AccessRule, RuleSet
+
+
+def hospital_rules() -> RuleSet:
+    """Roles over the hospital dataset.
+
+    * doctor      -- everything except psychiatric branches and billing;
+    * nurse       -- prescriptions only (plus names to administer them);
+    * accountant  -- billing and names only;
+    * researcher  -- diagnoses but never names or ssn (anonymized view).
+    """
+    rules = [
+        ("+", "doctor", "/hospital"),
+        ("-", "doctor", "//psychiatric"),
+        ("-", "doctor", "//billing"),
+        ("+", "nurse", "//patient/name"),
+        ("+", "nurse", "//prescription"),
+        ("+", "accountant", "//patient/name"),
+        ("+", "accountant", "//billing"),
+        ("+", "researcher", "//episode"),
+        ("-", "researcher", "//psychiatric"),
+        ("+", "researcher", "//ward"),
+        ("-", "researcher", "//patient/name"),
+        ("-", "researcher", "//patient/ssn"),
+        ("-", "researcher", "//billing"),
+    ]
+    return RuleSet(
+        AccessRule.parse(sign, subject, path, rule_id=f"H{i}")
+        for i, (sign, subject, path) in enumerate(rules)
+    )
+
+
+def agenda_rules(members: list[str]) -> RuleSet:
+    """Initial community policy: everyone sees events, private parts
+    stay with their owner."""
+    rules: list[AccessRule] = []
+    counter = 0
+    for member in members:
+        rules.append(
+            AccessRule.parse("+", member, "/agenda", rule_id=f"A{counter}")
+        )
+        counter += 1
+        rules.append(
+            AccessRule.parse("-", member, "//private", rule_id=f"A{counter}")
+        )
+        counter += 1
+        rules.append(
+            AccessRule.parse(
+                "+",
+                member,
+                f'//member[owner = "{member}"]//private/notes',
+                rule_id=f"A{counter}",
+            )
+        )
+        counter += 1
+    return RuleSet(rules)
+
+
+def owner_private_rules(members: list[str]) -> RuleSet:
+    """Variant used by E8's churn: private parts gated per owner section."""
+    rules: list[AccessRule] = []
+    counter = 0
+    for member in members:
+        rules.append(
+            AccessRule.parse("+", member, "/agenda", rule_id=f"B{counter}")
+        )
+        counter += 1
+        rules.append(
+            AccessRule.parse("-", member, "//private", rule_id=f"B{counter}")
+        )
+        counter += 1
+    return RuleSet(rules)
+
+
+def parental_rules(child: str = "kid", max_rating: str = "PG") -> RuleSet:
+    """Parental control over the video stream (demo application 2).
+
+    The child sees every segment whose rating is acceptable; ratings
+    order G < PG < PG13 < R.  Parents adjust ``max_rating`` at will --
+    with client-side evaluation this is a one-record policy update.
+    """
+    order = ["G", "PG", "PG13", "R"]
+    allowed = order[: order.index(max_rating) + 1]
+    # The deny sits on the segment; permits target the segment's
+    # children so that Most-Specific-Object overrides the propagated
+    # prohibition (a permit on the segment itself would lose to the
+    # denial under Denial-Takes-Precedence).
+    rules = [AccessRule.parse("-", child, "//segment", rule_id="P0"),
+             AccessRule.parse("+", child, "/stream", rule_id="P1")]
+    for index, rating in enumerate(allowed):
+        rules.append(
+            AccessRule.parse(
+                "+",
+                child,
+                f'//segment[meta/rating = "{rating}"]/*',
+                rule_id=f"P{index + 2}",
+            )
+        )
+    return RuleSet(rules)
+
+
+def subscription_rules(subscriber: str, categories: list[str]) -> RuleSet:
+    """Category-based subscription tiers for the sectioned stream.
+
+    Rules are purely structural (``/stream/news``), so the skip index
+    can rule whole sections out by their tag bitmaps -- a subscriber
+    without the sports tier never transfers nor decrypts the sports
+    section (experiments E2, E7).
+    """
+    rules = []
+    for index, category in enumerate(categories):
+        rules.append(
+            AccessRule.parse(
+                "+",
+                subscriber,
+                f"/stream/{category}",
+                rule_id=f"S{index}",
+            )
+        )
+    return RuleSet(rules)
+
+
+def synthetic_rules(
+    count: int,
+    subject: str = "u",
+    tags: list[str] | None = None,
+    seed: int = 23,
+    negative_fraction: float = 0.25,
+) -> RuleSet:
+    """Random rule sets over a tag alphabet, for rule-count sweeps (E3)."""
+    rng = random.Random(seed)
+    tags = tags or ["ward", "patient", "episode", "diagnosis", "prescription",
+                    "billing", "name", "drug"]
+    rules: list[AccessRule] = []
+    for index in range(count):
+        sign = "-" if rng.random() < negative_fraction else "+"
+        steps = rng.randrange(1, 4)
+        parts = []
+        for __ in range(steps):
+            axis = "//" if rng.random() < 0.6 else "/"
+            tag = rng.choice(tags + ["*"])
+            parts.append(f"{axis}{tag}")
+        path = "".join(parts)
+        if not path.startswith("/"):
+            path = "/" + path
+        if rng.random() < 0.3:
+            predicate_tag = rng.choice(tags)
+            path += f"[{predicate_tag}]"
+        rules.append(
+            AccessRule.parse(sign, subject, path, rule_id=f"X{index}")
+        )
+    return RuleSet(rules)

@@ -1,0 +1,42 @@
+"""Streaming XML substrate.
+
+The smart-card engine of the paper consumes XML as a stream of SAX-like
+events (``open``, ``value``, ``close``) because the Secure Operating
+Environment cannot materialize a DOM.  This package provides:
+
+* :mod:`repro.xmlstream.events` -- the event model,
+* :mod:`repro.xmlstream.parser` -- an incremental event parser,
+* :mod:`repro.xmlstream.writer` -- the inverse serializer,
+* :mod:`repro.xmlstream.tree`   -- a small tree model used by generators
+  and by the *reference* (non-streaming) access-control oracle; the tree
+  is never used inside the simulated card.
+"""
+
+from repro.xmlstream.events import (
+    CloseEvent,
+    Event,
+    OpenEvent,
+    ValueEvent,
+    events_to_paths,
+    validate_event_stream,
+)
+from repro.xmlstream.parser import XMLSyntaxError, parse_events, parse_string
+from repro.xmlstream.tree import Element, parse_tree, tree_to_events
+from repro.xmlstream.writer import write_events, write_string
+
+__all__ = [
+    "CloseEvent",
+    "Element",
+    "Event",
+    "OpenEvent",
+    "ValueEvent",
+    "XMLSyntaxError",
+    "events_to_paths",
+    "parse_events",
+    "parse_string",
+    "parse_tree",
+    "tree_to_events",
+    "validate_event_stream",
+    "write_events",
+    "write_string",
+]

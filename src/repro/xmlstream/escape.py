@@ -1,0 +1,58 @@
+"""Text escaping for the XML subset used throughout the system.
+
+Only the five predefined XML entities are supported; documents produced
+by the workload generators and accepted by the parser stay within this
+subset.
+"""
+
+from __future__ import annotations
+
+_ESCAPE_TEXT = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+_ESCAPE_ATTR = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&apos;",
+}
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape ``text`` for use as element content."""
+    return "".join(_ESCAPE_TEXT.get(ch, ch) for ch in text)
+
+
+def escape_attribute(text: str) -> str:
+    """Escape ``text`` for use inside a double-quoted attribute value."""
+    return "".join(_ESCAPE_ATTR.get(ch, ch) for ch in text)
+
+
+def resolve_entity(name: str) -> str | None:
+    """Return the replacement for entity ``name`` or ``None`` if unknown.
+
+    Character references (``#xNN`` / ``#NN``) are resolved numerically.
+    """
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except ValueError:
+            return None
+    if name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except ValueError:
+            return None
+    return _ENTITIES.get(name)

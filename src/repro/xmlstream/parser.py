@@ -1,0 +1,308 @@
+"""Incremental, event-based XML parser.
+
+The parser is deliberately written as a pull pipeline: it accepts either
+a complete string or an iterable of text chunks and yields
+:class:`~repro.xmlstream.events.Event` objects as soon as they are
+complete.  Nothing is ever materialized beyond the current token, which
+mirrors the streaming constraint of the Secure Operating Environment.
+
+Supported XML subset (sufficient for the paper's data model):
+
+* elements with attributes (single- or double-quoted),
+* text content with the five predefined entities and character
+  references,
+* CDATA sections, comments, processing instructions and a DOCTYPE
+  declaration (the last three are skipped),
+* no namespace processing (``:`` is treated as a plain name character).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.xmlstream.escape import resolve_entity
+from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class XMLSyntaxError(ValueError):
+    """Raised on malformed input, with the offset of the error."""
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (at offset {offset})")
+        self.offset = offset
+
+
+class _Scanner:
+    """Buffered scanner over an iterator of text chunks.
+
+    Grows its buffer on demand and discards consumed prefixes, so memory
+    use is bounded by the largest single token.
+    """
+
+    def __init__(self, chunks: Iterable[str]) -> None:
+        self._chunks = iter(chunks)
+        self._buffer = ""
+        self._consumed = 0  # total characters discarded so far
+        self._eof = False
+
+    @property
+    def offset(self) -> int:
+        """Absolute offset of the scanner position in the input."""
+        return self._consumed
+
+    def _pull(self) -> bool:
+        """Append one more chunk to the buffer; return False at EOF."""
+        if self._eof:
+            return False
+        try:
+            self._buffer += next(self._chunks)
+            return True
+        except StopIteration:
+            self._eof = True
+            return False
+
+    def ensure(self, length: int) -> bool:
+        """Ensure at least ``length`` characters are buffered."""
+        while len(self._buffer) < length:
+            if not self._pull():
+                return False
+        return True
+
+    def peek(self, index: int = 0) -> str:
+        """Return the character at ``index`` or '' at EOF."""
+        if not self.ensure(index + 1):
+            return ""
+        return self._buffer[index]
+
+    def startswith(self, prefix: str) -> bool:
+        if not self.ensure(len(prefix)):
+            return False
+        return self._buffer.startswith(prefix)
+
+    def take(self, count: int) -> str:
+        """Consume and return exactly ``count`` characters."""
+        if not self.ensure(count):
+            raise XMLSyntaxError("unexpected end of input", self.offset)
+        text, self._buffer = self._buffer[:count], self._buffer[count:]
+        self._consumed += count
+        return text
+
+    def take_until(self, marker: str, *, error: str) -> str:
+        """Consume text up to ``marker`` and the marker itself.
+
+        Returns the text before the marker.
+        """
+        start = 0
+        while True:
+            index = self._buffer.find(marker, start)
+            if index >= 0:
+                text = self._buffer[:index]
+                self._buffer = self._buffer[index + len(marker):]
+                self._consumed += index + len(marker)
+                return text
+            start = max(0, len(self._buffer) - len(marker) + 1)
+            if not self._pull():
+                raise XMLSyntaxError(error, self.offset)
+
+    def skip_whitespace(self) -> None:
+        while True:
+            stripped = self._buffer.lstrip(" \t\r\n")
+            self._consumed += len(self._buffer) - len(stripped)
+            self._buffer = stripped
+            if self._buffer or not self._pull():
+                return
+
+    def at_eof(self) -> bool:
+        return not self.ensure(1)
+
+
+def _read_name(scanner: _Scanner) -> str:
+    first = scanner.peek()
+    if first not in _NAME_START:
+        raise XMLSyntaxError(f"expected a name, found {first!r}", scanner.offset)
+    length = 1
+    while scanner.peek(length) in _NAME_CHARS and scanner.peek(length):
+        length += 1
+    return scanner.take(length)
+
+
+def _decode_entities(text: str, offset: int) -> str:
+    """Replace entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    parts: list[str] = []
+    position = 0
+    while True:
+        amp = text.find("&", position)
+        if amp < 0:
+            parts.append(text[position:])
+            return "".join(parts)
+        semi = text.find(";", amp + 1)
+        if semi < 0:
+            raise XMLSyntaxError("unterminated entity reference", offset + amp)
+        replacement = resolve_entity(text[amp + 1:semi])
+        if replacement is None:
+            raise XMLSyntaxError(
+                f"unknown entity &{text[amp + 1:semi]};", offset + amp
+            )
+        parts.append(text[position:amp])
+        parts.append(replacement)
+        position = semi + 1
+
+
+def _read_attributes(
+    scanner: _Scanner,
+) -> tuple[tuple[tuple[str, str], ...], bool]:
+    """Parse attributes up to ``>`` or ``/>``.
+
+    Returns ``(attributes, self_closing)``.
+    """
+    attributes: list[tuple[str, str]] = []
+    while True:
+        scanner.skip_whitespace()
+        char = scanner.peek()
+        if char == ">":
+            scanner.take(1)
+            return tuple(attributes), False
+        if char == "/":
+            if not scanner.startswith("/>"):
+                raise XMLSyntaxError("expected '/>'", scanner.offset)
+            scanner.take(2)
+            return tuple(attributes), True
+        if not char:
+            raise XMLSyntaxError("unexpected end of tag", scanner.offset)
+        name = _read_name(scanner)
+        scanner.skip_whitespace()
+        if scanner.peek() != "=":
+            raise XMLSyntaxError(
+                f"expected '=' after attribute {name!r}", scanner.offset
+            )
+        scanner.take(1)
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise XMLSyntaxError("attribute value must be quoted", scanner.offset)
+        scanner.take(1)
+        value_offset = scanner.offset
+        raw = scanner.take_until(quote, error="unterminated attribute value")
+        attributes.append((name, _decode_entities(raw, value_offset)))
+
+
+def parse_events(
+    source: str | Iterable[str],
+    *,
+    keep_whitespace: bool = False,
+) -> Iterator[Event]:
+    """Parse ``source`` into a stream of events.
+
+    ``source`` may be a complete document string or any iterable of text
+    chunks (the chunks may split the document at arbitrary positions).
+    Whitespace-only text nodes are dropped unless ``keep_whitespace`` is
+    true; adjacent text (including across CDATA boundaries) is merged
+    into a single :class:`ValueEvent`.
+    """
+    if isinstance(source, str):
+        source = (source,)
+    scanner = _Scanner(source)
+    depth = 0
+    open_tags: list[str] = []
+    seen_root = False
+    pending_text: list[str] = []
+
+    def flush_text() -> Iterator[Event]:
+        if not pending_text:
+            return
+        text = "".join(pending_text)
+        pending_text.clear()
+        if depth == 0:
+            if text.strip():
+                raise XMLSyntaxError("text outside the root element", scanner.offset)
+            return
+        if text.strip() or keep_whitespace:
+            yield ValueEvent(text)
+
+    while True:
+        if scanner.at_eof():
+            break
+        if scanner.peek() != "<":
+            text_offset = scanner.offset
+            raw = _take_text(scanner)
+            pending_text.append(_decode_entities(raw, text_offset))
+            continue
+        # Markup.
+        if scanner.startswith("<![CDATA["):
+            scanner.take(9)
+            pending_text.append(
+                scanner.take_until("]]>", error="unterminated CDATA section")
+            )
+            continue
+        yield from flush_text()
+        if scanner.startswith("<!--"):
+            scanner.take(4)
+            scanner.take_until("-->", error="unterminated comment")
+            continue
+        if scanner.startswith("<?"):
+            scanner.take(2)
+            scanner.take_until("?>", error="unterminated processing instruction")
+            continue
+        if scanner.startswith("<!"):
+            scanner.take(2)
+            scanner.take_until(">", error="unterminated declaration")
+            continue
+        if scanner.startswith("</"):
+            scanner.take(2)
+            name = _read_name(scanner)
+            scanner.skip_whitespace()
+            if scanner.peek() != ">":
+                raise XMLSyntaxError("malformed closing tag", scanner.offset)
+            scanner.take(1)
+            if depth == 0:
+                raise XMLSyntaxError(
+                    f"unmatched closing tag </{name}>", scanner.offset
+                )
+            expected = open_tags.pop()
+            if expected != name:
+                raise XMLSyntaxError(
+                    f"closing tag </{name}> does not match <{expected}>",
+                    scanner.offset,
+                )
+            depth -= 1
+            yield CloseEvent(name)
+            continue
+        scanner.take(1)  # '<'
+        name = _read_name(scanner)
+        attributes, self_closing = _read_attributes(scanner)
+        if depth == 0 and seen_root:
+            raise XMLSyntaxError("multiple root elements", scanner.offset)
+        seen_root = True
+        yield OpenEvent(name, attributes)
+        if self_closing:
+            yield CloseEvent(name)
+        else:
+            depth += 1
+            open_tags.append(name)
+
+    yield from flush_text()
+    if depth != 0:
+        raise XMLSyntaxError("unclosed elements at end of input", scanner.offset)
+    if not seen_root:
+        raise XMLSyntaxError("document has no root element", scanner.offset)
+
+
+def _take_text(scanner: _Scanner) -> str:
+    """Consume raw text up to (excluding) the next ``<`` or EOF."""
+    length = 0
+    while True:
+        char = scanner.peek(length)
+        if not char or char == "<":
+            return scanner.take(length)
+        length += 1
+
+
+def parse_string(text: str, *, keep_whitespace: bool = False) -> list[Event]:
+    """Parse a complete document and return the event list."""
+    return list(parse_events(text, keep_whitespace=keep_whitespace))

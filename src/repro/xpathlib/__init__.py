@@ -1,0 +1,33 @@
+"""The XPath fragment ``XP{[],*,//}`` used by access rules and queries.
+
+The paper restricts rule objects and queries to "a rather robust subset
+of XPath [...] node tests, the child axis (/), the descendant axis (//),
+wildcards (*) and predicates or branches [...]" (Section 2.2, after
+Miklau & Suciu).  This package provides the AST, a parser, a reference
+(tree-based) evaluator used as the testing oracle, and a sound
+containment test used for rule analysis.
+"""
+
+from repro.xpathlib.ast import (
+    Axis,
+    Comparison,
+    NodeTest,
+    Path,
+    Predicate,
+    Step,
+)
+from repro.xpathlib.evaluator import evaluate_path, node_matches_path
+from repro.xpathlib.parser import XPathSyntaxError, parse_path
+
+__all__ = [
+    "Axis",
+    "Comparison",
+    "NodeTest",
+    "Path",
+    "Predicate",
+    "Step",
+    "XPathSyntaxError",
+    "evaluate_path",
+    "node_matches_path",
+    "parse_path",
+]

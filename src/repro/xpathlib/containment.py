@@ -1,0 +1,136 @@
+"""Sound containment test for the fragment ``XP{[],*,//}``.
+
+Following Miklau & Suciu ("Containment and equivalence for an XPath
+fragment", PODS 2002 -- reference [7] of the paper), a path expression
+is viewed as a *tree pattern* and ``q ⊆ p`` holds whenever there is a
+homomorphism from ``pattern(p)`` to ``pattern(q)``.
+
+The homomorphism test is **sound** for the whole fragment and complete
+for its sub-fragments ``XP{[],//}`` and ``XP{[],*}``; for the combined
+fragment it may miss some containments (deciding those is coNP-hard),
+which is acceptable for its use here: the rule analyser only *prunes*
+work when containment is proven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xpathlib.ast import Comparison, Path, Predicate
+
+
+@dataclass
+class _PatternNode:
+    """A node of the tree pattern derived from a path expression."""
+
+    label: str | None  # None is the wildcard
+    comparison: Comparison | None = None
+    children: list[tuple["_PatternNode", bool]] = field(default_factory=list)
+    is_output: bool = False
+
+    def add(self, child: "_PatternNode", descendant_edge: bool) -> "_PatternNode":
+        self.children.append((child, descendant_edge))
+        return child
+
+
+_ROOT_LABEL = "\x00root"
+
+
+def _attach_predicate(node: _PatternNode, predicate: Predicate) -> None:
+    if predicate.path is None:
+        # A dot predicate constrains the node's own value.
+        node.comparison = predicate.comparison
+        return
+    current = node
+    steps = predicate.path.steps
+    for index, step in enumerate(steps):
+        child = _PatternNode(step.test.name)
+        current = current.add(child, step.axis.name == "DESCENDANT")
+        for nested in step.predicates:
+            _attach_predicate(current, nested)
+        if index == len(steps) - 1 and predicate.comparison is not None:
+            current.comparison = predicate.comparison
+
+
+def build_pattern(path: Path) -> _PatternNode:
+    """Convert an absolute path into its tree pattern.
+
+    The returned node is a virtual document root; the pattern's output
+    node corresponds to the final location step.
+    """
+    if not path.absolute:
+        raise ValueError("patterns are built from absolute paths")
+    root = _PatternNode(_ROOT_LABEL)
+    current = root
+    for step in path.steps:
+        child = _PatternNode(step.test.name)
+        current = current.add(child, step.axis.name == "DESCENDANT")
+        for predicate in step.predicates:
+            _attach_predicate(current, predicate)
+    current.is_output = True
+    return root
+
+
+def _labels_compatible(p_node: _PatternNode, q_node: _PatternNode) -> bool:
+    if p_node.label == _ROOT_LABEL or q_node.label == _ROOT_LABEL:
+        return p_node.label == q_node.label
+    if p_node.label is not None and p_node.label != q_node.label:
+        # A named test in p can still map onto a wildcard in q only if
+        # q's wildcard is *less* specific -- that direction is unsound,
+        # so require q to carry the same (or a concrete equal) label.
+        return False
+    if p_node.comparison is not None and p_node.comparison != q_node.comparison:
+        return False
+    if p_node.is_output and not q_node.is_output:
+        return False
+    return True
+
+
+def _descendant_targets(q_node: _PatternNode) -> list[_PatternNode]:
+    """All proper descendants of ``q_node`` in the pattern."""
+    result: list[_PatternNode] = []
+    stack = [child for child, _ in q_node.children]
+    while stack:
+        node = stack.pop()
+        result.append(node)
+        stack.extend(child for child, _ in node.children)
+    return result
+
+
+def _homomorphism(
+    p_node: _PatternNode,
+    q_node: _PatternNode,
+    memo: dict[tuple[int, int], bool],
+) -> bool:
+    key = (id(p_node), id(q_node))
+    if key in memo:
+        return memo[key]
+    memo[key] = False  # guard against cycles (patterns are trees, so none)
+    if not _labels_compatible(p_node, q_node):
+        return False
+    for p_child, descendant_edge in p_node.children:
+        if descendant_edge:
+            targets = _descendant_targets(q_node)
+        else:
+            targets = [child for child, is_desc in q_node.children if not is_desc]
+        if not any(_homomorphism(p_child, target, memo) for target in targets):
+            return False
+    memo[key] = True
+    return True
+
+
+def contains(p: Path, q: Path) -> bool:
+    """Sound test for ``q ⊆ p`` (every document node selected by ``q``
+    is also selected by ``p``).
+
+    Returns ``True`` only when containment is certain; ``False`` means
+    "not proven".
+    """
+    p_pattern = build_pattern(p)
+    q_pattern = build_pattern(q)
+    return _homomorphism(p_pattern, q_pattern, {})
+
+
+def equivalent(p: Path, q: Path) -> bool:
+    """Sound test for semantic equivalence of two paths."""
+    return contains(p, q) and contains(q, p)

@@ -1,0 +1,127 @@
+"""Reference (tree-based) evaluation of the XPath fragment.
+
+This evaluator is the *oracle* of the test suite: the streaming engine
+running inside the simulated smart card must produce exactly the node
+sets this module computes.  It is also used by the trusted-server
+baseline, which is allowed to materialize documents.
+
+Semantics notes:
+
+* ``/a`` selects the root element if its tag is ``a``; ``//a`` selects
+  every element named ``a`` (including the root).
+* ``p//q`` selects ``q`` elements that are *proper* descendants of nodes
+  selected by ``p``.
+* For value comparisons the string value of a node is the concatenation
+  of its **direct** text children.  This matches what the streaming
+  engine can observe (the ``value`` events raised while the node is the
+  innermost open element) and is documented as a deliberate deviation
+  from full XPath string-value semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xmlstream.tree import Element
+from repro.xpathlib.ast import Axis, Path, Predicate, Step
+
+
+def _axis_candidates(context: Element, axis: Axis) -> Iterable[Element]:
+    """Elements reachable from ``context`` along ``axis``."""
+    if axis is Axis.CHILD:
+        return context.element_children
+    return (node for node in context.iter() if node is not context)
+
+
+def _initial_candidates(root: Element, axis: Axis) -> Iterable[Element]:
+    """Candidates for the first step of an absolute path.
+
+    The (virtual) document node sits above ``root``: its only child is
+    the root element and its descendants are every element.
+    """
+    if axis is Axis.CHILD:
+        return (root,)
+    return root.iter()
+
+
+def _satisfies_predicate(node: Element, predicate: Predicate) -> bool:
+    if predicate.path is None:
+        assert predicate.comparison is not None
+        return predicate.comparison.test(node.text)
+    matches = _evaluate_steps(predicate.path.steps, [node], relative=True)
+    if predicate.comparison is None:
+        return bool(matches)
+    return any(predicate.comparison.test(match.text) for match in matches)
+
+
+def _apply_step(candidates: Iterable[Element], step: Step) -> list[Element]:
+    selected: list[Element] = []
+    seen: set[int] = set()
+    for node in candidates:
+        if not step.test.matches(node.tag):
+            continue
+        if id(node) in seen:
+            continue
+        if all(_satisfies_predicate(node, p) for p in step.predicates):
+            seen.add(id(node))
+            selected.append(node)
+    return selected
+
+
+def _evaluate_steps(
+    steps: tuple[Step, ...],
+    contexts: list[Element],
+    *,
+    relative: bool,
+    root: Element | None = None,
+) -> list[Element]:
+    if relative:
+        first_candidates: list[Element] = []
+        seen: set[int] = set()
+        for context in contexts:
+            for node in _axis_candidates(context, steps[0].axis):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    first_candidates.append(node)
+        current = _apply_step(first_candidates, steps[0])
+    else:
+        assert root is not None
+        current = _apply_step(_initial_candidates(root, steps[0].axis), steps[0])
+    for step in steps[1:]:
+        next_candidates: list[Element] = []
+        seen = set()
+        for context in current:
+            for node in _axis_candidates(context, step.axis):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    next_candidates.append(node)
+        current = _apply_step(next_candidates, step)
+    return current
+
+
+def evaluate_path(
+    path: Path,
+    root: Element,
+    context: Element | None = None,
+) -> list[Element]:
+    """Return the node set selected by ``path``.
+
+    Absolute paths are evaluated from the document node above ``root``;
+    relative paths require a ``context`` element.  The result preserves
+    document order and contains no duplicates.
+    """
+    if path.absolute:
+        result = _evaluate_steps(path.steps, [], relative=False, root=root)
+    else:
+        if context is None:
+            raise ValueError("relative paths require a context element")
+        result = _evaluate_steps(path.steps, [context], relative=True)
+    order = {id(node): index for index, node in enumerate(root.iter())}
+    return sorted(result, key=lambda node: order[id(node)])
+
+
+def node_matches_path(node: Element, path: Path, root: Element) -> bool:
+    """Whether ``node`` belongs to the node set of the absolute ``path``."""
+    if not path.absolute:
+        raise ValueError("node_matches_path expects an absolute path")
+    return any(match is node for match in evaluate_path(path, root))

@@ -1,0 +1,118 @@
+"""Tokenizer for the XPath fragment."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TokenType(enum.Enum):
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    STAR = "*"
+    NAME = "name"
+    LBRACKET = "["
+    RBRACKET = "]"
+    DOT = "."
+    DOT_SLASH = "./"
+    DOT_DOUBLE_SLASH = ".//"
+    OP = "op"
+    LITERAL = "literal"
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+
+class XPathLexError(ValueError):
+    """Raised on characters outside the fragment's grammar."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-:")
+_OPERATORS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the tokens of ``text``, ending with an END token."""
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char in " \t\r\n":
+            position += 1
+            continue
+        if char == "/":
+            if text.startswith("//", position):
+                yield Token(TokenType.DOUBLE_SLASH, "//", position)
+                position += 2
+            else:
+                yield Token(TokenType.SLASH, "/", position)
+                position += 1
+            continue
+        if char == ".":
+            if text.startswith(".//", position):
+                yield Token(TokenType.DOT_DOUBLE_SLASH, ".//", position)
+                position += 3
+            elif text.startswith("./", position):
+                yield Token(TokenType.DOT_SLASH, "./", position)
+                position += 2
+            else:
+                yield Token(TokenType.DOT, ".", position)
+                position += 1
+            continue
+        if char == "*":
+            yield Token(TokenType.STAR, "*", position)
+            position += 1
+            continue
+        if char == "[":
+            yield Token(TokenType.LBRACKET, "[", position)
+            position += 1
+            continue
+        if char == "]":
+            yield Token(TokenType.RBRACKET, "]", position)
+            position += 1
+            continue
+        if char in ("'", '"'):
+            end = text.find(char, position + 1)
+            if end < 0:
+                raise XPathLexError("unterminated string literal", position)
+            yield Token(TokenType.LITERAL, text[position + 1:end], position)
+            position = end + 1
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, position)), None
+        )
+        if matched_op is not None:
+            yield Token(TokenType.OP, matched_op, position)
+            position += len(matched_op)
+            continue
+        if char.isdigit() or (
+            char == "-" and position + 1 < length and text[position + 1].isdigit()
+        ):
+            end = position + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[end] == "."
+                end += 1
+            yield Token(TokenType.LITERAL, text[position:end], position)
+            position = end
+            continue
+        if char in _NAME_START:
+            end = position + 1
+            while end < length and text[end] in _NAME_CHARS:
+                end += 1
+            yield Token(TokenType.NAME, text[position:end], position)
+            position = end
+            continue
+        raise XPathLexError(f"unexpected character {char!r}", position)
+    yield Token(TokenType.END, "", length)

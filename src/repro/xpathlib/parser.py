@@ -1,0 +1,155 @@
+"""Recursive-descent parser for the XPath fragment ``XP{[],*,//}``.
+
+Grammar (predicates may nest arbitrarily)::
+
+    path       := abs_path | rel_path
+    abs_path   := ("/" | "//") step (("/" | "//") step)*
+    rel_path   := (".//" | "./")? step (("/" | "//") step)*
+    step       := nodetest predicate*
+    nodetest   := NAME | "*"
+    predicate  := "[" pred_expr "]"
+    pred_expr  := rel_path (OP literal)?  |  "." OP literal
+"""
+
+from __future__ import annotations
+
+from repro.xpathlib.ast import (
+    Axis,
+    Comparison,
+    NodeTest,
+    Path,
+    Predicate,
+    Step,
+)
+from repro.xpathlib.lexer import Token, TokenType, XPathLexError, tokenize
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when the expression is outside the supported fragment."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        try:
+            self._tokens = list(tokenize(text))
+        except XPathLexError as exc:
+            raise XPathSyntaxError(str(exc), exc.position) from exc
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise XPathSyntaxError(
+                f"expected {token_type.value!r}, found {token.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> Path:
+        path = self._path(top_level=True)
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise XPathSyntaxError(
+                f"unexpected trailing input {end.value!r}", end.position
+            )
+        return path
+
+    def _path(self, *, top_level: bool) -> Path:
+        token = self._peek()
+        if token.type in (TokenType.SLASH, TokenType.DOUBLE_SLASH):
+            absolute = True
+            first_axis = (
+                Axis.CHILD if token.type is TokenType.SLASH else Axis.DESCENDANT
+            )
+            self._advance()
+        elif token.type in (TokenType.DOT_SLASH, TokenType.DOT_DOUBLE_SLASH):
+            if top_level:
+                raise XPathSyntaxError(
+                    "rule and query paths must be absolute", token.position
+                )
+            absolute = False
+            first_axis = (
+                Axis.CHILD
+                if token.type is TokenType.DOT_SLASH
+                else Axis.DESCENDANT
+            )
+            self._advance()
+        else:
+            if top_level:
+                raise XPathSyntaxError(
+                    "rule and query paths must start with '/' or '//'",
+                    token.position,
+                )
+            absolute = False
+            first_axis = Axis.CHILD
+        steps = [self._step(first_axis)]
+        while self._peek().type in (TokenType.SLASH, TokenType.DOUBLE_SLASH):
+            axis_token = self._advance()
+            axis = (
+                Axis.CHILD
+                if axis_token.type is TokenType.SLASH
+                else Axis.DESCENDANT
+            )
+            steps.append(self._step(axis))
+        return Path(tuple(steps), absolute=absolute)
+
+    def _step(self, axis: Axis) -> Step:
+        token = self._peek()
+        if token.type is TokenType.STAR:
+            self._advance()
+            test = NodeTest(None)
+        elif token.type is TokenType.NAME:
+            self._advance()
+            test = NodeTest(token.value)
+        else:
+            raise XPathSyntaxError(
+                f"expected a node test, found {token.value!r}", token.position
+            )
+        predicates: list[Predicate] = []
+        while self._peek().type is TokenType.LBRACKET:
+            predicates.append(self._predicate())
+        return Step(axis, test, tuple(predicates))
+
+    def _predicate(self) -> Predicate:
+        self._expect(TokenType.LBRACKET)
+        token = self._peek()
+        if token.type is TokenType.DOT:
+            self._advance()
+            op = self._expect(TokenType.OP)
+            literal = self._expect(TokenType.LITERAL)
+            predicate = Predicate(None, Comparison(op.value, literal.value))
+        else:
+            path = self._path(top_level=False)
+            if self._peek().type is TokenType.OP:
+                op = self._advance()
+                literal = self._expect(TokenType.LITERAL)
+                predicate = Predicate(path, Comparison(op.value, literal.value))
+            else:
+                predicate = Predicate(path)
+        self._expect(TokenType.RBRACKET)
+        return predicate
+
+
+def parse_path(text: str) -> Path:
+    """Parse ``text`` into a :class:`~repro.xpathlib.ast.Path`.
+
+    Raises :class:`XPathSyntaxError` outside the fragment.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,91 @@
+"""Unit and property tests for the policy analyser."""
+
+from hypothesis import given, settings
+
+from repro.core.analysis import analyse, conflicts, minimize
+from repro.core.reference import reference_view
+from repro.core.rules import AccessRule, RuleSet
+
+from tests.strategies import elements, rule_sets
+
+
+def _rules(*defs):
+    return RuleSet([
+        AccessRule.parse(sign, "u", path, rule_id=f"A{i}")
+        for i, (sign, path) in enumerate(defs)
+    ])
+
+
+def test_shadowed_permit_detected():
+    # The permit's node set is a subset of the deny's node set: every
+    # node it would permit carries a direct denial, so it never fires.
+    rules = _rules(("-", "//secret"), ("+", "/a//secret"), ("+", "/a"))
+    report = analyse(rules)
+    assert [r.rule_id for r in report.shadowed] == ["A1"]
+    assert len(report.kept) == 2
+
+
+def test_carved_exception_not_shadowed():
+    # Permit on a *descendant* of denied nodes is the most-specific
+    # override pattern -- different node set, must be kept.
+    rules = _rules(("-", "//secret"), ("+", "//secret/inner"))
+    report = analyse(rules)
+    assert not report.shadowed
+
+
+def test_wildcard_deny_shadows_named_permit():
+    rules = _rules(("-", "//*"), ("+", "//x"))
+    report = analyse(rules)
+    assert len(report.shadowed) == 1
+
+
+def test_equivalent_duplicates_detected():
+    rules = _rules(("+", "/a/b"), ("+", "/a/b"), ("-", "//c"), ("-", "//c"))
+    report = analyse(rules)
+    assert len(report.duplicates) == 2
+    assert len(report.kept) == 2
+
+
+def test_most_specific_permit_not_misflagged():
+    # The permit targets a subset of the deny's *descendant region*,
+    # not of its node set -- it must be kept (exception carving).
+    rules = _rules(("-", "//b"), ("+", "//b/d"))
+    report = analyse(rules)
+    assert not report.shadowed
+    assert len(report.kept) == 2
+
+
+def test_predicated_rules_kept_when_unprovable():
+    rules = _rules(("-", "//a"), ("+", "//a[b]/c"))
+    report = analyse(rules)
+    assert len(report.kept) == 2
+
+
+def test_conflicts_lists_overlaps():
+    rules = _rules(("+", "/a"), ("-", "/a/b"), ("-", "//z"))
+    pairs = conflicts(rules)
+    assert len(pairs) == 1
+    permit, deny = pairs[0]
+    assert str(deny.object) == "/a/b"
+
+
+@settings(max_examples=100, deadline=None)
+@given(root=elements(), rules=rule_sets())
+def test_minimize_preserves_views(root, rules):
+    """The fundamental soundness property: minimization never changes
+    any subject's view of any document."""
+    minimized, report = minimize(rules)
+    original = reference_view(root, rules, "u")
+    reduced = reference_view(root, minimized, "u")
+    assert original == reduced, (
+        f"removed={[str(r) for r in report.shadowed + report.duplicates]}"
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rules=rule_sets())
+def test_minimize_is_idempotent(rules):
+    once, __ = minimize(rules)
+    twice, report = minimize(once)
+    assert report.removed_count == 0
+    assert len(twice) == len(once)

@@ -1,0 +1,113 @@
+"""Unit tests for the pending-predicate condition algebra."""
+
+from repro.core.conditions import (
+    Condition,
+    Tristate,
+    conjunction_state,
+    live_conditions,
+)
+
+
+def test_initial_state_unknown():
+    assert Condition(1).state is Tristate.UNKNOWN
+
+
+def test_empty_support_resolves_true():
+    condition = Condition(1)
+    condition.add_support(frozenset())
+    assert condition.state is Tristate.TRUE
+
+
+def test_finalize_resolves_false():
+    condition = Condition(1)
+    condition.finalize()
+    assert condition.state is Tristate.FALSE
+
+
+def test_true_wins_over_later_finalize():
+    condition = Condition(1)
+    condition.add_support(frozenset())
+    condition.finalize()
+    assert condition.state is Tristate.TRUE
+
+
+def test_support_guarded_by_nested_condition():
+    nested = Condition(2)
+    outer = Condition(1)
+    outer.add_support(frozenset({nested}))
+    assert outer.state is Tristate.UNKNOWN
+    nested.add_support(frozenset())
+    assert outer.state is Tristate.TRUE
+
+
+def test_failed_nested_support_does_not_confirm():
+    nested = Condition(2)
+    outer = Condition(1)
+    outer.add_support(frozenset({nested}))
+    nested.finalize()
+    assert outer.state is Tristate.UNKNOWN
+    outer.finalize()
+    assert outer.state is Tristate.FALSE
+
+
+def test_any_of_multiple_supports_confirms():
+    nested_a, nested_b = Condition(2), Condition(2)
+    outer = Condition(1)
+    outer.add_support(frozenset({nested_a}))
+    outer.add_support(frozenset({nested_b}))
+    nested_a.finalize()
+    nested_b.add_support(frozenset())
+    assert outer.state is Tristate.TRUE
+
+
+def test_support_with_already_failed_condition_ignored():
+    nested = Condition(2)
+    nested.finalize()
+    outer = Condition(1)
+    outer.add_support(frozenset({nested}))
+    assert outer.state is Tristate.UNKNOWN
+    assert not outer._supports  # nothing retained
+
+
+def test_listener_fires_once_on_resolution():
+    condition = Condition(1)
+    seen = []
+    condition.add_listener(seen.append)
+    condition.finalize()
+    condition.finalize()
+    assert seen == [condition]
+
+
+def test_listener_on_already_resolved_fires_immediately():
+    condition = Condition(1)
+    condition.add_support(frozenset())
+    seen = []
+    condition.add_listener(seen.append)
+    assert seen == [condition]
+
+
+def test_conjunction_state_logic():
+    true_c = Condition(1)
+    true_c.add_support(frozenset())
+    false_c = Condition(1)
+    false_c.finalize()
+    unknown_c = Condition(1)
+    assert conjunction_state([]) is Tristate.TRUE
+    assert conjunction_state([true_c]) is Tristate.TRUE
+    assert conjunction_state([true_c, unknown_c]) is Tristate.UNKNOWN
+    assert conjunction_state([unknown_c, false_c]) is Tristate.FALSE
+
+
+def test_live_conditions_drops_true():
+    true_c = Condition(1)
+    true_c.add_support(frozenset())
+    unknown_c = Condition(1)
+    assert live_conditions([true_c, unknown_c]) == frozenset({unknown_c})
+
+
+def test_deep_nesting_chain_resolves():
+    chain = [Condition(i) for i in range(5)]
+    for outer, inner in zip(chain, chain[1:]):
+        outer.add_support(frozenset({inner}))
+    chain[-1].add_support(frozenset())
+    assert all(c.state is Tristate.TRUE for c in chain)

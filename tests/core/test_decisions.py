@@ -1,0 +1,114 @@
+"""Unit tests for conflict resolution (the sign stack)."""
+
+from repro.core.conditions import Condition
+from repro.core.decisions import DecisionNode, Pending, Resolved
+from repro.core.rules import Sign
+
+
+def _root(sign=Sign.DENY):
+    return DecisionNode.default_root(sign)
+
+
+def test_default_root_status():
+    assert _root(Sign.DENY).status() == Resolved(Sign.DENY)
+    assert _root(Sign.PERMIT).status() == Resolved(Sign.PERMIT)
+
+
+def test_inherits_from_parent_without_matches():
+    child = DecisionNode(_root(Sign.PERMIT))
+    assert child.status() == Resolved(Sign.PERMIT)
+
+
+def test_definite_permit():
+    node = DecisionNode(_root())
+    node.add_match(Sign.PERMIT, frozenset())
+    assert node.status() == Resolved(Sign.PERMIT)
+
+
+def test_denial_takes_precedence_among_direct_matches():
+    node = DecisionNode(_root(Sign.PERMIT))
+    node.add_match(Sign.PERMIT, frozenset())
+    node.add_match(Sign.DENY, frozenset())
+    assert node.status() == Resolved(Sign.DENY)
+
+
+def test_most_specific_overrides_propagation():
+    parent = DecisionNode(_root())
+    parent.add_match(Sign.DENY, frozenset())
+    child = DecisionNode(parent)
+    child.add_match(Sign.PERMIT, frozenset())
+    assert parent.status() == Resolved(Sign.DENY)
+    assert child.status() == Resolved(Sign.PERMIT)
+
+
+def test_pending_permit_blocks_resolution():
+    condition = Condition(1)
+    node = DecisionNode(_root())
+    node.add_match(Sign.PERMIT, frozenset({condition}))
+    status = node.status()
+    assert isinstance(status, Pending)
+    assert status.unknowns == frozenset({condition})
+
+
+def test_pending_permit_confirms():
+    condition = Condition(1)
+    node = DecisionNode(_root())
+    node.add_match(Sign.PERMIT, frozenset({condition}))
+    condition.add_support(frozenset())
+    assert node.status() == Resolved(Sign.PERMIT)
+
+
+def test_pending_permit_fails_back_to_parent():
+    condition = Condition(1)
+    node = DecisionNode(_root(Sign.DENY))
+    node.add_match(Sign.PERMIT, frozenset({condition}))
+    condition.finalize()
+    assert node.status() == Resolved(Sign.DENY)
+
+
+def test_pending_deny_outweighs_definite_permit_until_resolved():
+    condition = Condition(1)
+    node = DecisionNode(_root())
+    node.add_match(Sign.PERMIT, frozenset())
+    node.add_match(Sign.DENY, frozenset({condition}))
+    assert isinstance(node.status(), Pending)
+    condition.finalize()
+    assert node.status() == Resolved(Sign.PERMIT)
+
+
+def test_confirmed_pending_deny_wins():
+    condition = Condition(1)
+    node = DecisionNode(_root())
+    node.add_match(Sign.PERMIT, frozenset())
+    node.add_match(Sign.DENY, frozenset({condition}))
+    condition.add_support(frozenset())
+    assert node.status() == Resolved(Sign.DENY)
+
+
+def test_definite_deny_short_circuits_pending():
+    condition = Condition(1)
+    node = DecisionNode(_root())
+    node.add_match(Sign.DENY, frozenset())
+    node.add_match(Sign.PERMIT, frozenset({condition}))
+    assert node.status() == Resolved(Sign.DENY)
+
+
+def test_failed_match_never_recorded():
+    condition = Condition(1)
+    condition.finalize()
+    node = DecisionNode(_root(Sign.PERMIT))
+    node.add_match(Sign.DENY, frozenset({condition}))
+    assert node.status() == Resolved(Sign.PERMIT)
+    assert not node.has_direct_matches
+
+
+def test_pending_inheritance_through_chain():
+    condition = Condition(1)
+    grandparent = DecisionNode(_root())
+    grandparent.add_match(Sign.PERMIT, frozenset({condition}))
+    parent = DecisionNode(grandparent)
+    child = DecisionNode(parent)
+    status = child.status()
+    assert isinstance(status, Pending)
+    condition.add_support(frozenset())
+    assert child.status() == Resolved(Sign.PERMIT)

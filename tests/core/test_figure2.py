@@ -1,0 +1,79 @@
+"""Figure 2 of the paper as executable behaviour.
+
+The paper's running example is the positive rule ``⊕, //b[c]/d`` whose
+automaton has a navigational path (states for ``b`` and ``d``) and a
+predicate path (state for ``c``).  These tests pin down its observable
+semantics in every tricky configuration.
+"""
+
+from repro.core import AccessRule, RuleSet, authorized_view, reference_view
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import parse_tree
+from repro.xmlstream.writer import write_string
+
+RULES = RuleSet([AccessRule.parse("+", "u", "//b[c]/d", rule_id="F2")])
+
+
+def _view(document: str) -> str:
+    events = parse_string(document)
+    streaming = authorized_view(events, RULES, "u")
+    oracle = reference_view(parse_tree(document), RULES, "u")
+    assert streaming == oracle, "streaming engine disagrees with oracle"
+    return write_string(streaming)
+
+
+def test_predicate_before_target():
+    assert _view("<r><b><c/><d>t</d></b></r>") == "<r><b><d>t</d></b></r>"
+
+
+def test_predicate_after_target_pending_then_granted():
+    assert _view("<r><b><d>t</d><c/></b></r>") == "<r><b><d>t</d></b></r>"
+
+
+def test_predicate_never_satisfied():
+    assert _view("<r><b><d>t</d></b></r>") == ""
+
+
+def test_rule_applies_per_b_instance():
+    document = "<r><b><c/><d>1</d></b><b><d>2</d></b></r>"
+    assert _view(document) == "<r><b><d>1</d></b></r>"
+
+
+def test_descendant_axis_reaches_deep_b():
+    document = "<r><x><b><c/><d>deep</d></b></x></r>"
+    assert _view(document) == "<r><x><b><d>deep</d></b></x></r>"
+
+
+def test_propagation_to_descendants_of_d():
+    document = "<r><b><c/><d><e>sub</e></d></b></r>"
+    assert _view(document) == "<r><b><d><e>sub</e></d></b></r>"
+
+
+def test_c_in_nested_scope_does_not_leak_to_outer_b():
+    # The predicate c must be a *child* of the matched b.
+    document = "<r><b><x><c/></x><d>t</d></b></r>"
+    assert _view(document) == ""
+
+
+def test_multiple_d_under_one_pending_b():
+    document = "<r><b><d>1</d><d>2</d><c/></b></r>"
+    assert _view(document) == "<r><b><d>1</d><d>2</d></b></r>"
+
+
+def test_nested_b_instances_independent():
+    document = "<r><b><b><c/><d>in</d></b><d>out</d></b></r>"
+    assert _view(document) == "<r><b><b><d>in</d></b></b></r>"
+
+
+def test_negative_variant_of_figure2():
+    rules = RuleSet([
+        AccessRule.parse("+", "u", "/r", rule_id="all"),
+        AccessRule.parse("-", "u", "//b[c]/d", rule_id="neg"),
+    ])
+    document = "<r><b><d>keep?</d><c/></b><b><d>free</d></b></r>"
+    streaming = authorized_view(parse_string(document), rules, "u")
+    oracle = reference_view(parse_tree(document), rules, "u")
+    assert streaming == oracle
+    text = write_string(streaming)
+    assert "keep?" not in text
+    assert "free" in text

@@ -1,0 +1,67 @@
+"""Unit tests for the high-level pipeline API."""
+
+import pytest
+
+from repro.core import AccessRule, RuleSet, authorized_view
+from repro.core.pipeline import AccessController, stream_authorized_view
+from repro.core.delivery import _Record
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.writer import write_string
+
+
+RULES = RuleSet([
+    AccessRule.parse("+", "u", "/r", rule_id="P1"),
+    AccessRule.parse("-", "u", "//secret", rule_id="P2"),
+])
+
+
+def test_authorized_view_one_call():
+    out = authorized_view(parse_string("<r><secret/>x</r>"), RULES, "u")
+    assert write_string(out) == "<r>x</r>"
+
+
+def test_stream_authorized_view_incremental():
+    events = parse_string("<r><a>1</a><secret>hidden</secret><b>2</b></r>")
+    streamed = list(stream_authorized_view(events, RULES, "u"))
+    assert streamed == authorized_view(events, RULES, "u")
+
+
+def test_query_accepts_text_or_ast():
+    from repro.xpathlib.parser import parse_path
+
+    events = parse_string("<r><a>1</a><b>2</b></r>")
+    by_text = authorized_view(events, RULES, "u", query="//b")
+    by_ast = authorized_view(events, RULES, "u", query=parse_path("//b"))
+    assert by_text == by_ast
+
+
+def test_current_status_reports_innermost():
+    controller = AccessController(RULES, "u")
+    controller.feed(parse_string("<r><secret></secret></r>")[0])
+    kind, __ = controller.current_status()
+    assert kind == _Record.DELIVER
+    controller.feed(parse_string("<r><secret></secret></r>")[1])
+    kind, __ = controller.current_status()
+    assert kind == _Record.DROP
+
+
+def test_subtree_is_irrelevant_combines_evaluators():
+    controller = AccessController(RULES, "u", query="//wanted")
+    controller.feed(parse_string("<r></r>")[0])
+    # The query could still complete on a 'wanted' inside.
+    assert not controller.subtree_is_irrelevant(frozenset({"wanted"}))
+    assert controller.subtree_is_irrelevant(frozenset({"other"}))
+
+
+def test_text_outside_root_rejected():
+    from repro.xmlstream.events import ValueEvent
+
+    controller = AccessController(RULES, "u")
+    with pytest.raises(ValueError):
+        controller.feed(ValueEvent("stray"))
+
+
+def test_active_token_count_exposed():
+    controller = AccessController(RULES, "u", query="//x")
+    controller.feed(parse_string("<r></r>")[0])
+    assert controller.active_token_count() > 0

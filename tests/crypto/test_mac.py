@@ -1,0 +1,61 @@
+"""Unit tests for positional MAC binding."""
+
+from repro.crypto.mac import chunk_mac, header_mac, verify_mac
+
+KEY = b"k" * 16
+
+
+def _base():
+    return chunk_mac(KEY, "doc", 1, 0, 10, b"ciphertext")
+
+
+def test_deterministic():
+    assert _base() == _base()
+
+
+def test_binds_document_id():
+    assert _base() != chunk_mac(KEY, "other", 1, 0, 10, b"ciphertext")
+
+
+def test_binds_version():
+    assert _base() != chunk_mac(KEY, "doc", 2, 0, 10, b"ciphertext")
+
+
+def test_binds_chunk_index():
+    assert _base() != chunk_mac(KEY, "doc", 1, 1, 10, b"ciphertext")
+
+
+def test_binds_chunk_count():
+    assert _base() != chunk_mac(KEY, "doc", 1, 0, 9, b"ciphertext")
+
+
+def test_binds_ciphertext():
+    assert _base() != chunk_mac(KEY, "doc", 1, 0, 10, b"Ciphertext")
+
+
+def test_binds_key():
+    assert _base() != chunk_mac(b"K" * 16, "doc", 1, 0, 10, b"ciphertext")
+
+
+def test_tag_length_parameter():
+    assert len(chunk_mac(KEY, "d", 1, 0, 1, b"", length=4)) == 4
+    assert len(chunk_mac(KEY, "d", 1, 0, 1, b"", length=16)) == 16
+
+
+def test_header_mac_binds_fields():
+    base = header_mac(KEY, "doc", 1, 10, 96, b"payload")
+    assert base != header_mac(KEY, "doc", 1, 11, 96, b"payload")
+    assert base != header_mac(KEY, "doc", 1, 10, 64, b"payload")
+    assert base != header_mac(KEY, "doc", 2, 10, 96, b"payload")
+
+
+def test_header_and_chunk_domains_separated():
+    chunk = chunk_mac(KEY, "doc", 1, 0, 10, b"x")
+    header = header_mac(KEY, "doc", 1, 0, 10, b"x")
+    assert chunk != header
+
+
+def test_verify_mac():
+    tag = _base()
+    assert verify_mac(tag, tag)
+    assert not verify_mac(tag, tag[:-1] + bytes([tag[-1] ^ 1]))

@@ -1,0 +1,97 @@
+"""Unit and property tests for the Merkle integrity mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import (
+    AuthPath,
+    MerkleTree,
+    hash_operations,
+    verify_chunk,
+)
+
+
+def _chunks(count: int) -> list[bytes]:
+    return [f"chunk-{i}".encode() for i in range(count)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(count=st.integers(min_value=1, max_value=40), data=st.data())
+def test_every_leaf_verifies(count, data):
+    chunks = _chunks(count)
+    tree = MerkleTree(chunks)
+    index = data.draw(st.integers(min_value=0, max_value=count - 1))
+    path = tree.auth_path(index)
+    assert verify_chunk(tree.root, index, chunks[index], path)
+
+
+@settings(max_examples=60, deadline=None)
+@given(count=st.integers(min_value=2, max_value=40), data=st.data())
+def test_tampered_leaf_fails(count, data):
+    chunks = _chunks(count)
+    tree = MerkleTree(chunks)
+    index = data.draw(st.integers(min_value=0, max_value=count - 1))
+    path = tree.auth_path(index)
+    assert not verify_chunk(tree.root, index, b"tampered", path)
+
+
+def test_swapped_chunks_fail():
+    chunks = _chunks(8)
+    tree = MerkleTree(chunks)
+    assert not verify_chunk(tree.root, 2, chunks[3], tree.auth_path(2))
+    assert not verify_chunk(tree.root, 3, chunks[2], tree.auth_path(3))
+
+
+def test_path_for_wrong_index_fails():
+    chunks = _chunks(8)
+    tree = MerkleTree(chunks)
+    assert not verify_chunk(tree.root, 2, chunks[2], tree.auth_path(3))
+
+
+def test_cross_tree_path_fails():
+    chunks = _chunks(8)
+    tree = MerkleTree(chunks)
+    other = MerkleTree(_chunks(9))
+    assert not verify_chunk(other.root, 2, chunks[2], tree.auth_path(2))
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree([b"only"])
+    assert tree.leaf_count == 1
+    path = tree.auth_path(0)
+    assert verify_chunk(tree.root, 0, b"only", path)
+    assert hash_operations(path) == 1
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_path_index_bounds():
+    tree = MerkleTree(_chunks(4))
+    with pytest.raises(IndexError):
+        tree.auth_path(4)
+
+
+def test_logarithmic_path_length():
+    tree = MerkleTree(_chunks(1024))
+    path = tree.auth_path(513)
+    assert hash_operations(path) == 11  # 1 leaf + 10 levels
+    assert path.transfer_bytes == 10 * 16
+
+
+def test_odd_tail_promotion():
+    """Non-power-of-two leaf counts still verify everywhere."""
+    chunks = _chunks(11)
+    tree = MerkleTree(chunks)
+    for index in range(11):
+        assert verify_chunk(
+            tree.root, index, chunks[index], tree.auth_path(index)
+        )
+
+
+def test_root_deterministic():
+    assert MerkleTree(_chunks(7)).root == MerkleTree(_chunks(7)).root
+    assert MerkleTree(_chunks(7)).root != MerkleTree(_chunks(8)).root

@@ -1,0 +1,68 @@
+"""Unit tests for CBC mode and PKCS#7 padding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.modes import (
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.xtea import BLOCK_SIZE
+
+KEY = bytes(range(16))
+IV = bytes(range(BLOCK_SIZE))
+
+
+@given(st.binary(max_size=200))
+def test_cbc_round_trip(plaintext):
+    assert cbc_decrypt(cbc_encrypt(plaintext, KEY, IV), KEY, IV) == plaintext
+
+
+@given(st.binary(max_size=64))
+def test_padding_round_trip(data):
+    padded = pkcs7_pad(data)
+    assert len(padded) % BLOCK_SIZE == 0
+    assert pkcs7_unpad(padded) == data
+
+
+def test_padding_always_added():
+    assert len(pkcs7_pad(b"x" * BLOCK_SIZE)) == 2 * BLOCK_SIZE
+
+
+def test_bad_padding_rejected():
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"\x00" * BLOCK_SIZE)
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"1234567\x09")
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"")
+
+
+def test_iv_changes_ciphertext():
+    other_iv = bytes([IV[0] ^ 1]) + IV[1:]
+    assert cbc_encrypt(b"hello", KEY, IV) != cbc_encrypt(b"hello", KEY, other_iv)
+
+
+def test_cbc_chains_blocks():
+    # Two identical plaintext blocks must encrypt differently under CBC.
+    plaintext = b"A" * BLOCK_SIZE * 2
+    ciphertext = cbc_encrypt(plaintext, KEY, IV)
+    assert ciphertext[:BLOCK_SIZE] != ciphertext[BLOCK_SIZE:2 * BLOCK_SIZE]
+
+
+def test_bad_iv_size_rejected():
+    with pytest.raises(ValueError):
+        cbc_encrypt(b"x", KEY, b"short")
+    with pytest.raises(ValueError):
+        cbc_decrypt(b"x" * BLOCK_SIZE, KEY, b"short")
+
+
+def test_non_block_ciphertext_rejected():
+    with pytest.raises(ValueError):
+        cbc_decrypt(b"123", KEY, IV)
+    with pytest.raises(ValueError):
+        cbc_decrypt(b"", KEY, IV)

@@ -1,0 +1,60 @@
+"""Unit tests for the XTEA block cipher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.xtea import (
+    BLOCK_SIZE,
+    KEY_SIZE,
+    xtea_decrypt_block,
+    xtea_encrypt_block,
+)
+
+KEY = bytes(range(KEY_SIZE))
+
+
+@given(st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+def test_round_trip(block):
+    assert xtea_decrypt_block(xtea_encrypt_block(block, KEY), KEY) == block
+
+
+def test_encryption_changes_data():
+    block = b"\x00" * BLOCK_SIZE
+    assert xtea_encrypt_block(block, KEY) != block
+
+
+def test_key_sensitivity():
+    block = b"ABCDEFGH"
+    other_key = bytes([KEY[0] ^ 1]) + KEY[1:]
+    assert xtea_encrypt_block(block, KEY) != xtea_encrypt_block(block, other_key)
+
+
+def test_block_sensitivity():
+    a = xtea_encrypt_block(b"AAAAAAA0", KEY)
+    b = xtea_encrypt_block(b"AAAAAAA1", KEY)
+    assert a != b
+
+
+def test_deterministic():
+    block = b"12345678"
+    assert xtea_encrypt_block(block, KEY) == xtea_encrypt_block(block, KEY)
+
+
+def test_wrong_block_size_rejected():
+    with pytest.raises(ValueError):
+        xtea_encrypt_block(b"short", KEY)
+    with pytest.raises(ValueError):
+        xtea_decrypt_block(b"toolongblock", KEY)
+
+
+def test_wrong_key_size_rejected():
+    with pytest.raises(ValueError):
+        xtea_encrypt_block(b"A" * BLOCK_SIZE, b"shortkey")
+
+
+def test_wrong_key_fails_decrypt():
+    block = b"sensitiv"
+    ciphertext = xtea_encrypt_block(block, KEY)
+    other_key = b"\xff" * KEY_SIZE
+    assert xtea_decrypt_block(ciphertext, other_key) != block

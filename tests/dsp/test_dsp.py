@@ -1,0 +1,61 @@
+"""Unit tests for the untrusted store and its network front."""
+
+import pytest
+
+from repro.crypto.container import seal_document
+from repro.crypto.keys import DocumentKeys
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+
+KEYS = DocumentKeys(b"dsp-test-secret!")
+
+
+def _container(doc_id="doc", version=1):
+    return seal_document(b"payload" * 20, doc_id, version, KEYS, chunk_size=50)
+
+
+def test_store_put_get():
+    store = DSPStore()
+    container = _container()
+    store.put_document(container)
+    assert store.get("doc").container is container
+    assert "doc" in store
+    assert store.document_ids() == ["doc"]
+
+
+def test_store_update_preserves_rules():
+    store = DSPStore()
+    store.put_document(_container(version=1))
+    store.put_rules("doc", [b"r0"], 1)
+    store.put_document(_container(version=2))
+    assert store.get("doc").rule_records == [b"r0"]
+    assert store.get("doc").container.header.version == 2
+
+
+def test_store_missing_document():
+    with pytest.raises(KeyError):
+        DSPStore().get("nope")
+
+
+def test_server_charges_network():
+    store = DSPStore()
+    store.put_document(_container())
+    store.put_rules("doc", [b"record"], 1)
+    store.put_wrapped_key("doc", "u", b"wrapped")
+    server = DSPServer(store)
+    server.get_header("doc")
+    blob = server.get_chunk("doc", 0)
+    version, records = server.get_rules("doc")
+    wrapped = server.get_wrapped_key("doc", "u")
+    assert version == 1 and records == [b"record"] and wrapped == b"wrapped"
+    assert server.bytes_served >= 64 + len(blob) + len(b"record") + len(b"wrapped")
+    assert server.requests == 4
+    assert server.clock.component("network") > 0
+
+
+def test_server_serves_chunks_by_index():
+    store = DSPStore()
+    container = _container()
+    store.put_document(container)
+    server = DSPServer(store)
+    assert server.get_chunk("doc", 2) == container.chunks[2]

@@ -1,0 +1,99 @@
+"""Failure injection: resource exhaustion and protocol abuse.
+
+The card must degrade into clean ISO status words -- never a Python
+exception escaping the card boundary, never a partial state that a
+following session could observe.
+"""
+
+import pytest
+
+from repro.core.rules import AccessRule, RuleSet
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+from repro.smartcard.apdu import CommandAPDU, Instruction, StatusWord
+from repro.smartcard.card import SmartCard
+from repro.smartcard.soe import SecureOperatingEnvironment
+from repro.terminal.api import Publisher
+from repro.terminal.proxy import ProxyError
+from repro.terminal.session import Terminal
+from repro.xmlstream.parser import parse_string
+
+RULES = RuleSet([AccessRule.parse("+", "u", "/r", rule_id="FI")])
+DOC = "<r>" + "<x>" * 30 + "deep" + "</x>" * 30 + "</r>"
+
+
+def _stack():
+    pki = SimulatedPKI()
+    pki.enroll("owner")
+    pki.enroll("u")
+    store = DSPStore()
+    dsp = DSPServer(store)
+    Publisher("owner", store, pki).publish(
+        "d", parse_string(DOC), RULES, ["u"], chunk_size=48
+    )
+    return dsp, pki
+
+
+def test_tiny_ram_card_fails_with_memory_status():
+    """A 128-byte card cannot evaluate a depth-31 document."""
+    dsp, pki = _stack()
+    terminal = Terminal("u", dsp, pki, ram_quota=128, strict_memory=True)
+    with pytest.raises(ProxyError) as info:
+        terminal.query("d", owner="owner")
+    assert info.value.status == StatusWord.MEMORY_FAILURE
+
+
+def test_adequate_ram_card_succeeds_on_same_document():
+    dsp, pki = _stack()
+    terminal = Terminal("u", dsp, pki, ram_quota=2048, strict_memory=True)
+    result, metrics = terminal.query("d", owner="owner")
+    assert "deep" in result.xml
+    assert metrics.ram_high_water <= 2048
+
+
+def test_memory_failure_does_not_poison_next_session():
+    """After an overflow, a new session on the same card still works."""
+    dsp, pki = _stack()
+    soe = SecureOperatingEnvironment(ram_quota=100_000, strict_memory=True)
+    card = SmartCard(soe)
+    terminal = Terminal("u", dsp, pki, card=card)
+    first, __ = terminal.query("d", owner="owner")
+    assert "deep" in first.xml
+    second, __ = terminal.query("d")
+    assert second.xml == first.xml
+
+
+@pytest.mark.parametrize("instruction", [
+    Instruction.BEGIN_SESSION,
+    Instruction.PUT_HEADER,
+    Instruction.PUT_RULES,
+    Instruction.PUT_CHUNK,
+    Instruction.GET_OUTPUT,
+    Instruction.END_DOCUMENT,
+    Instruction.BEGIN_REFETCH,
+    Instruction.PUT_REFETCH_CHUNK,
+    Instruction.ADMIN_PROVISION_KEY,
+    Instruction.SC_ADMIN,
+    Instruction.GET_STATUS,
+])
+def test_garbage_payloads_yield_status_words(instruction):
+    """Fuzzing every instruction with junk must never raise."""
+    card = SmartCard()
+    card.process(CommandAPDU(Instruction.SELECT, data=b"aid"))
+    for junk in (b"", b"\x00", b"\xff" * 40, b"A" * 255):
+        response = card.process(CommandAPDU(instruction, data=junk))
+        assert isinstance(response.sw, int)
+
+
+def test_out_of_order_protocol_yields_clean_errors():
+    card = SmartCard()
+    card.process(CommandAPDU(Instruction.SELECT, data=b"aid"))
+    # Chunk before header, end before begin, refetch before anything.
+    assert card.process(
+        CommandAPDU(Instruction.PUT_CHUNK, data=b"x" * 50)
+    ).sw == StatusWord.CONDITIONS_NOT_SATISFIED
+    assert not card.process(CommandAPDU(Instruction.END_DOCUMENT)).ok
+    assert not card.process(
+        CommandAPDU(Instruction.BEGIN_REFETCH)
+    ).ok

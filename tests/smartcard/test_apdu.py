@@ -1,0 +1,49 @@
+"""Unit tests for APDU framing."""
+
+import pytest
+
+from repro.smartcard.apdu import (
+    CommandAPDU,
+    Instruction,
+    ResponseAPDU,
+    StatusWord,
+    split_payload,
+)
+
+
+def test_command_wire_size():
+    command = CommandAPDU(Instruction.PUT_CHUNK, data=b"x" * 10)
+    assert command.wire_size == 15
+
+
+def test_command_data_limit():
+    CommandAPDU(Instruction.PUT_CHUNK, data=b"x" * 255)
+    with pytest.raises(ValueError):
+        CommandAPDU(Instruction.PUT_CHUNK, data=b"x" * 256)
+
+
+def test_command_byte_ranges():
+    with pytest.raises(ValueError):
+        CommandAPDU(Instruction.SELECT, p1=300)
+
+
+def test_response_ok_statuses():
+    assert ResponseAPDU(StatusWord.OK).ok
+    assert ResponseAPDU(0x6103, b"x").ok  # 61xx means more output
+    assert not ResponseAPDU(StatusWord.WRONG_DATA).ok
+
+
+def test_response_wire_size():
+    assert ResponseAPDU(StatusWord.OK, b"abc").wire_size == 5
+
+
+def test_response_data_limit():
+    with pytest.raises(ValueError):
+        ResponseAPDU(StatusWord.OK, b"x" * 257)
+
+
+def test_split_payload():
+    pieces = split_payload(b"x" * 600)
+    assert [len(p) for p in pieces] == [255, 255, 90]
+    assert split_payload(b"") == [b""]
+    assert split_payload(b"ab", limit=1) == [b"a", b"b"]

@@ -1,0 +1,98 @@
+"""Unit tests for the APDU dispatcher."""
+
+import struct
+
+from repro.crypto.container import seal_document
+from repro.crypto.keys import DocumentKeys
+from repro.skipindex.encoder import encode_document
+from repro.smartcard.apdu import CommandAPDU, Instruction, StatusWord
+from repro.smartcard.card import SmartCard, decode_header, encode_header
+from repro.xmlstream.parser import parse_string
+
+SECRET = b"card-test-secret"
+
+
+def _select(card):
+    response = card.process(CommandAPDU(Instruction.SELECT, data=b"aid"))
+    assert response.sw == StatusWord.OK
+    return response
+
+
+def test_commands_before_select_rejected():
+    card = SmartCard()
+    response = card.process(CommandAPDU(Instruction.GET_STATUS))
+    assert response.sw == StatusWord.CONDITIONS_NOT_SATISFIED
+
+
+def test_unknown_instruction():
+    card = SmartCard()
+    _select(card)
+    response = card.process(CommandAPDU(Instruction.ADMIN_SET_VERSION))
+    assert response.sw == StatusWord.INS_NOT_SUPPORTED
+
+
+def test_provision_key_roundtrip():
+    card = SmartCard()
+    _select(card)
+    data = bytes([3]) + b"doc" + SECRET
+    response = card.process(
+        CommandAPDU(Instruction.ADMIN_PROVISION_KEY, data=data)
+    )
+    assert response.sw == StatusWord.OK
+    assert card.soe.keys_for("doc").secret == SECRET
+
+
+def test_header_codec_round_trip():
+    keys = DocumentKeys(SECRET)
+    plaintext = encode_document(parse_string("<a>x</a>"))
+    container = seal_document(plaintext, "docid", 7, keys, chunk_size=32)
+    decoded = decode_header(encode_header(container.header))
+    assert decoded == container.header
+
+
+def test_begin_session_without_key_maps_to_status_word():
+    card = SmartCard()
+    _select(card)
+    data = bytes([0, 1]) + b"d" + bytes([1]) + b"u"
+    response = card.process(CommandAPDU(Instruction.BEGIN_SESSION, data=data))
+    assert response.sw == StatusWord.CONDITIONS_NOT_SATISFIED
+
+
+def test_malformed_data_maps_to_wrong_data():
+    card = SmartCard()
+    _select(card)
+    response = card.process(
+        CommandAPDU(Instruction.BEGIN_SESSION, data=b"")
+    )
+    assert response.sw == StatusWord.WRONG_DATA
+
+
+def test_security_failure_maps_to_status_word():
+    keys = DocumentKeys(SECRET)
+    plaintext = encode_document(parse_string("<a>x</a>"))
+    container = seal_document(plaintext, "d", 1, keys, chunk_size=32)
+    card = SmartCard()
+    _select(card)
+    card.process(
+        CommandAPDU(
+            Instruction.ADMIN_PROVISION_KEY,
+            data=bytes([1]) + b"d" + b"wrong-key-16byte",
+        )
+    )
+    begin = bytes([0, 1]) + b"d" + bytes([1]) + b"u"
+    assert card.process(
+        CommandAPDU(Instruction.BEGIN_SESSION, data=begin)
+    ).sw == StatusWord.OK
+    response = card.process(
+        CommandAPDU(Instruction.PUT_HEADER, data=encode_header(container.header))
+    )
+    assert response.sw == StatusWord.SECURITY_STATUS_NOT_SATISFIED
+
+
+def test_get_status_payload():
+    card = SmartCard()
+    _select(card)
+    response = card.process(CommandAPDU(Instruction.GET_STATUS))
+    assert response.sw == StatusWord.OK
+    ram, cycles, decrypted, skipped = struct.unpack(">IQQQ", response.data)
+    assert ram >= 0 and cycles >= 0 and decrypted == 0 and skipped == 0

@@ -1,0 +1,174 @@
+"""Unit and integration tests for the access-rights update protocol."""
+
+import pytest
+
+from repro.smartcard.apdu import CommandAPDU, Instruction, StatusWord
+from repro.smartcard.card import SmartCard
+from repro.smartcard.secure_channel import (
+    OP_PROVISION_KEY,
+    OP_REVOKE_KEY,
+    OP_SET_VERSION,
+    CardSecureChannel,
+    HostSecureChannel,
+    SecureChannelError,
+)
+
+ADMIN_KEY = b"admin-master-key"
+SECRET = b"doc-secret-16byt"
+
+
+def _handshake(admin_key_host=ADMIN_KEY, admin_key_card=ADMIN_KEY):
+    host = HostSecureChannel(admin_key_host)
+    card = CardSecureChannel(admin_key_card)
+    challenge = host.open()
+    card_challenge, cryptogram = card.open(challenge)
+    host.authenticate(card_challenge, cryptogram)
+    return host, card
+
+
+def test_handshake_and_one_command():
+    host, card = _handshake()
+    frame = host.wrap(OP_PROVISION_KEY, host.provision_key_payload("d", SECRET))
+    opcode, payload = card.unwrap(frame)
+    assert opcode == OP_PROVISION_KEY
+    assert payload.endswith(SECRET)
+
+
+def test_wrong_admin_key_fails_authentication():
+    host = HostSecureChannel(b"x" * 16)
+    card = CardSecureChannel(ADMIN_KEY)
+    challenge = host.open()
+    card_challenge, cryptogram = card.open(challenge)
+    with pytest.raises(SecureChannelError):
+        host.authenticate(card_challenge, cryptogram)
+
+
+def test_replayed_frame_rejected():
+    host, card = _handshake()
+    frame = host.wrap(OP_SET_VERSION, host.set_version_payload("d", 5))
+    card.unwrap(frame)
+    with pytest.raises(SecureChannelError):
+        card.unwrap(frame)  # same sequence number
+
+
+def test_reordered_frames_rejected():
+    host, card = _handshake()
+    first = host.wrap(OP_SET_VERSION, host.set_version_payload("d", 1))
+    second = host.wrap(OP_SET_VERSION, host.set_version_payload("d", 2))
+    with pytest.raises(SecureChannelError):
+        card.unwrap(second)  # skipping frame 0
+    # Fail-stop: even the correct frame is now refused.
+    with pytest.raises(SecureChannelError):
+        card.unwrap(first)
+
+
+def test_tampered_frame_rejected():
+    host, card = _handshake()
+    frame = bytearray(host.wrap(OP_REVOKE_KEY, host.revoke_key_payload("d")))
+    frame[6] ^= 1
+    with pytest.raises(SecureChannelError):
+        card.unwrap(bytes(frame))
+
+
+def test_commands_before_handshake_rejected():
+    card = CardSecureChannel(ADMIN_KEY)
+    with pytest.raises(SecureChannelError):
+        card.unwrap(b"\x00" * 16)
+    host = HostSecureChannel(ADMIN_KEY)
+    host.open()
+    with pytest.raises(SecureChannelError):
+        host.wrap(OP_REVOKE_KEY, b"")
+
+
+def test_cross_session_frames_rejected():
+    host_a, card = _handshake()
+    frame = host_a.wrap(OP_SET_VERSION, host_a.set_version_payload("d", 1))
+    # A new handshake invalidates old session frames.
+    host_b = HostSecureChannel(ADMIN_KEY)
+    card_challenge, cryptogram = card.open(host_b.open())
+    host_b.authenticate(card_challenge, cryptogram)
+    with pytest.raises(SecureChannelError):
+        card.unwrap(frame)
+
+
+# -- through the APDU layer ---------------------------------------------------
+
+
+def _personalized_card():
+    card = SmartCard(admin_key=ADMIN_KEY)
+    card.process(CommandAPDU(Instruction.SELECT, data=b"aid"))
+    return card
+
+
+def _open_channel(card):
+    host = HostSecureChannel(ADMIN_KEY)
+    response = card.process(
+        CommandAPDU(Instruction.SC_OPEN, data=host.open())
+    )
+    assert response.sw == StatusWord.OK
+    host.authenticate(response.data[:8], response.data[8:])
+    return host
+
+
+def test_plain_provisioning_refused_on_personalized_card():
+    card = _personalized_card()
+    data = bytes([1]) + b"d" + SECRET
+    response = card.process(
+        CommandAPDU(Instruction.ADMIN_PROVISION_KEY, data=data)
+    )
+    assert response.sw == StatusWord.SECURITY_STATUS_NOT_SATISFIED
+
+
+def test_secure_provisioning_through_apdus():
+    card = _personalized_card()
+    host = _open_channel(card)
+    frame = host.wrap(OP_PROVISION_KEY, host.provision_key_payload("d", SECRET))
+    response = card.process(CommandAPDU(Instruction.SC_ADMIN, data=frame))
+    assert response.sw == StatusWord.OK
+    assert card.soe.keys_for("d").secret == SECRET
+
+
+def test_secure_revocation_through_apdus():
+    card = _personalized_card()
+    host = _open_channel(card)
+    card.process(CommandAPDU(
+        Instruction.SC_ADMIN,
+        data=host.wrap(OP_PROVISION_KEY, host.provision_key_payload("d", SECRET)),
+    ))
+    response = card.process(CommandAPDU(
+        Instruction.SC_ADMIN,
+        data=host.wrap(OP_REVOKE_KEY, host.revoke_key_payload("d")),
+    ))
+    assert response.sw == StatusWord.OK
+    assert "d" not in card.soe.keyring
+
+
+def test_secure_version_reset_through_apdus():
+    card = _personalized_card()
+    host = _open_channel(card)
+    card.soe.advance_version_register("d", 9)
+    response = card.process(CommandAPDU(
+        Instruction.SC_ADMIN,
+        data=host.wrap(OP_SET_VERSION, host.set_version_payload("d", 2)),
+    ))
+    assert response.sw == StatusWord.OK
+    assert card.soe.version_register("d") == 2
+
+
+def test_forged_frame_through_apdus_rejected():
+    card = _personalized_card()
+    host = _open_channel(card)
+    frame = bytearray(
+        host.wrap(OP_PROVISION_KEY, host.provision_key_payload("d", SECRET))
+    )
+    frame[-1] ^= 1
+    response = card.process(CommandAPDU(Instruction.SC_ADMIN, data=bytes(frame)))
+    assert response.sw == StatusWord.SECURITY_STATUS_NOT_SATISFIED
+    assert "d" not in card.soe.keyring
+
+
+def test_sc_instructions_refused_without_personalization():
+    card = SmartCard()  # no admin key
+    card.process(CommandAPDU(Instruction.SELECT, data=b"aid"))
+    response = card.process(CommandAPDU(Instruction.SC_OPEN, data=b"x" * 8))
+    assert response.sw == StatusWord.CONDITIONS_NOT_SATISFIED

@@ -1,0 +1,81 @@
+"""Shared hypothesis strategies: random documents, paths and rule sets.
+
+The generators are deliberately biased toward collisions: a tiny tag
+alphabet and shallow values make it likely that random rules actually
+match random documents, that predicates straddle their targets (the
+pending machinery), and that positive and negative rules conflict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.rules import AccessRule, RuleSet, Sign
+from repro.xmlstream.tree import Element
+
+TAGS = ["a", "b", "c", "d", "e"]
+VALUES = ["1", "2", "x"]
+
+
+@st.composite
+def elements(draw, depth: int = 0) -> Element:
+    """A random XML tree over a small alphabet."""
+    tag = draw(st.sampled_from(TAGS))
+    node = Element(tag)
+    if depth < 4:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    st.sampled_from(VALUES),
+                    elements(depth=depth + 1),  # type: ignore[call-arg]
+                ),
+                max_size=4 if depth < 2 else 2,
+            )
+        )
+        for child in children:
+            if isinstance(child, Element):
+                child.parent = node
+                node.children.append(child)
+            elif node.children and isinstance(node.children[-1], str):
+                # Merge adjacent text nodes: parsers cannot distinguish
+                # them, so keeping them separate would break round-trips.
+                node.children[-1] += child
+            else:
+                node.children.append(child)
+    return node
+
+
+@st.composite
+def xpath_texts(draw) -> str:
+    """A random expression in XP{[],*,//} over the same alphabet."""
+    steps = []
+    n_steps = draw(st.integers(min_value=1, max_value=3))
+    for index in range(n_steps):
+        axis = draw(st.sampled_from(["/", "//"]))
+        test = draw(st.sampled_from(TAGS + ["*"]))
+        predicates = ""
+        if draw(st.booleans()) and draw(st.booleans()):
+            predicate_kind = draw(st.integers(min_value=0, max_value=2))
+            ptag = draw(st.sampled_from(TAGS))
+            if predicate_kind == 0:
+                predicates = f"[{ptag}]"
+            elif predicate_kind == 1:
+                value = draw(st.sampled_from(VALUES))
+                predicates = f'[{ptag} = "{value}"]'
+            else:
+                value = draw(st.sampled_from(VALUES))
+                predicates = f'[. = "{value}"]'
+        steps.append(f"{axis}{test}{predicates}")
+    return "".join(steps)
+
+
+@st.composite
+def rule_sets(draw, subject: str = "u") -> RuleSet:
+    """A random policy of 1-5 signed rules for one subject."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    rules = []
+    for index in range(count):
+        sign = draw(st.sampled_from([Sign.PERMIT, Sign.DENY]))
+        path = draw(xpath_texts())
+        rules.append(AccessRule.parse(sign, subject, path, rule_id=f"G{index}"))
+    return RuleSet(rules)

@@ -1,0 +1,148 @@
+"""Integration tests: proxy + terminal against card and DSP."""
+
+import pytest
+
+from repro.core import AccessRule, RuleSet, reference_view
+from repro.core.delivery import ViewMode
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+from repro.smartcard.applet import PendingStrategy
+from repro.terminal.api import Publisher
+from repro.terminal.proxy import ProxyError
+from repro.terminal.session import Terminal
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import parse_tree
+from repro.xmlstream.writer import write_string
+
+DOC = (
+    "<notes><note><to>alice</to><body>hello</body></note>"
+    "<note><to>bob</to><body>secret plan</body></note></notes>"
+)
+RULES = RuleSet([
+    AccessRule.parse("+", "alice", '//note[to = "alice"]', rule_id="S0"),
+    AccessRule.parse("+", "bob", '//note[to = "bob"]', rule_id="S1"),
+])
+
+
+def _stack():
+    pki = SimulatedPKI()
+    pki.enroll("owner")
+    pki.enroll("alice")
+    pki.enroll("bob")
+    store = DSPStore()
+    dsp = DSPServer(store)
+    publisher = Publisher("owner", store, pki)
+    publisher.publish("notes", parse_string(DOC), RULES, ["alice", "bob"])
+    return dsp, pki, publisher
+
+
+def test_each_user_sees_own_view():
+    dsp, pki, __ = _stack()
+    for user in ("alice", "bob"):
+        terminal = Terminal(user, dsp, pki)
+        result, metrics = terminal.query("notes", owner="owner")
+        expected = write_string(reference_view(parse_tree(DOC), RULES, user))
+        assert result.xml == expected
+        assert metrics.apdu_count > 0
+        assert metrics.clock.total() > 0
+
+
+def test_query_restriction_applies():
+    dsp, pki, __ = _stack()
+    terminal = Terminal("alice", dsp, pki)
+    result, __ = terminal.query("notes", query="//body", owner="owner")
+    expected = write_string(
+        reference_view(parse_tree(DOC), RULES, "alice", query="//body")
+    )
+    assert result.xml == expected
+
+
+def test_unauthorized_user_has_no_wrapped_key():
+    dsp, pki, __ = _stack()
+    pki.enroll("eve")
+    terminal = Terminal("eve", dsp, pki)
+    with pytest.raises(KeyError):
+        terminal.query("notes", owner="owner")
+
+
+def test_unlock_is_idempotent():
+    dsp, pki, __ = _stack()
+    terminal = Terminal("alice", dsp, pki)
+    terminal.unlock_document("notes", "owner")
+    terminal.unlock_document("notes", "owner")
+    result, __ = terminal.query("notes")
+    assert "alice" in result.xml
+
+
+def test_policy_update_changes_view_without_reencryption():
+    dsp, pki, publisher = _stack()
+    terminal = Terminal("alice", dsp, pki)
+    before, __ = terminal.query("notes", owner="owner")
+    assert "hello" in before.xml
+    new_rules = RuleSet([
+        AccessRule.parse("+", "alice", '//note[to = "alice"]', rule_id="S0"),
+        AccessRule.parse("-", "alice", "//body", rule_id="S2"),
+    ])
+    receipt = publisher.update_rules("notes", new_rules)
+    assert receipt.document_bytes_encrypted == 0
+    after, __ = Terminal("alice", dsp, pki).query("notes", owner="owner")
+    assert "hello" not in after.xml
+    expected = write_string(reference_view(parse_tree(DOC), new_rules, "alice"))
+    assert after.xml == expected
+
+
+def test_refetch_strategy_returns_fragments():
+    # Refetch applies when the pending predicate resolves *outside* the
+    # candidate subtree: here the body streams before the to field, so
+    # at <body> the [to=...] condition is still open, the body subtree
+    # is irrelevant to it, and the card skips it for later refetch.
+    document = (
+        "<notes><note><body>hello alice</body><to>alice</to></note>"
+        "<note><body>bob stuff</body><to>bob</to></note></notes>"
+    )
+    rules = RuleSet([
+        AccessRule.parse("+", "alice", '//note[to = "alice"]/body', rule_id="R0"),
+    ])
+    pki = SimulatedPKI()
+    pki.enroll("owner")
+    pki.enroll("alice")
+    store = DSPStore()
+    dsp = DSPServer(store)
+    publisher = Publisher("owner", store, pki)
+    publisher.publish(
+        "mail", parse_string(document), rules, ["alice"], chunk_size=32
+    )
+    terminal = Terminal("alice", dsp, pki)
+    result, metrics = terminal.query(
+        "mail", owner="owner", strategy=PendingStrategy.REFETCH
+    )
+    assert metrics.refetch_count >= 1
+    combined = result.xml + "".join(text for __, text in result.fragments)
+    assert "hello alice" in combined
+    assert "bob stuff" not in combined
+    # The buffering strategy must agree on delivered content.
+    buffered, buffered_metrics = Terminal("alice", dsp, pki).query(
+        "mail", owner="owner", strategy=PendingStrategy.BUFFER
+    )
+    assert "hello alice" in buffered.xml
+    assert buffered_metrics.max_pending_bytes > metrics.max_pending_bytes
+
+
+def test_prune_view_mode_through_stack():
+    dsp, pki, __ = _stack()
+    terminal = Terminal("alice", dsp, pki)
+    result, __ = terminal.query("notes", owner="owner", view_mode=ViewMode.PRUNE)
+    expected = write_string(
+        reference_view(parse_tree(DOC), RULES, "alice", mode=ViewMode.PRUNE)
+    )
+    assert result.xml == expected
+
+
+def test_proxy_error_carries_status():
+    dsp, pki, __ = _stack()
+    terminal = Terminal("alice", dsp, pki)
+    terminal.proxy.provision_key("notes", b"wrong-key-16byte")
+    with pytest.raises(ProxyError) as info:
+        terminal.proxy.query("notes", "alice")
+    assert info.value.status is not None

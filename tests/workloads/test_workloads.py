@@ -1,0 +1,140 @@
+"""Unit tests for dataset generators and rule profiles."""
+
+from repro.core import reference_view
+from repro.core.rules import Sign
+from repro.workloads.docgen import (
+    agenda,
+    bibliography,
+    hospital,
+    nested,
+    video_catalog,
+)
+from repro.workloads.querygen import hospital_queries, random_query
+from repro.workloads.rulegen import (
+    agenda_rules,
+    hospital_rules,
+    parental_rules,
+    subscription_rules,
+    synthetic_rules,
+)
+from repro.xmlstream.tree import tree_size, tree_to_events
+from repro.xmlstream.writer import write_string
+
+
+def test_generators_deterministic():
+    assert write_string(tree_to_events(hospital(5))) == write_string(
+        tree_to_events(hospital(5))
+    )
+    assert write_string(tree_to_events(agenda(3))) != write_string(
+        tree_to_events(agenda(4))
+    )
+
+
+def test_hospital_shape():
+    root = hospital(n_patients=8, episodes_per_patient=2)
+    assert root.tag == "hospital"
+    assert len(root.find_all("patient")) == 8
+    assert len(root.find_all("episode")) == 16
+    assert root.find_all("psychiatric")  # sensitive branch present
+    assert root.find_all("billing")
+
+
+def test_hospital_scales_linearly():
+    small = tree_size(hospital(5))
+    large = tree_size(hospital(50))
+    assert 8 * small < large * 1.5
+
+
+def test_bibliography_shape():
+    root = bibliography(10)
+    assert len(root.find_all("article")) == 10
+    assert all(a.element_children for a in root.find_all("article"))
+
+
+def test_agenda_has_owner_markers():
+    root = agenda(3, 2)
+    owners = [node.text for node in root.find_all("owner")]
+    assert len(owners) == 3 and len(set(owners)) == 3
+
+
+def test_video_catalog_sectioned_and_flat():
+    sectioned = video_catalog(10)
+    assert sectioned.element_children[0].tag in (
+        "news", "sports", "cartoons", "documentary", "movies"
+    )
+    flat = video_catalog(10, flat=True)
+    assert flat.element_children[0].tag == "segment"
+    assert len(flat.find_all("segment")) == 10
+
+
+def test_nested_depth():
+    root = nested(depth=6, fanout=1)
+    node, depth = root, 0
+    while node.element_children:
+        node = node.element_children[0]
+        depth += 1
+    assert depth == 6
+
+
+def test_doctor_profile_semantics():
+    root = hospital(8)
+    rules = hospital_rules()
+    view = write_string(reference_view(root, rules, "doctor"))
+    assert "psychiatric" not in view
+    assert "amount" not in view
+    assert "diagnosis" in view
+
+
+def test_researcher_sees_no_identities():
+    root = hospital(8)
+    view = write_string(reference_view(root, hospital_rules(), "researcher"))
+    assert "<ssn>" not in view
+    assert "influenza" in view or "fracture" in view or "diagnosis" in view
+
+
+def test_agenda_private_parts_owner_only():
+    members = ["alice", "bruno", "carla"]
+    root = agenda(3, 6, seed=13)
+    rules = agenda_rules(members)
+    for member in members:
+        view = write_string(reference_view(root, rules, member))
+        # A member must never see another member's private notes: the
+        # only private content visible sits inside their own section.
+        if "personal notes" in view:
+            own_section_start = view.find(f"<owner>{member}</owner>")
+            assert own_section_start != -1
+
+
+def test_parental_rating_monotone():
+    root = video_catalog(16)
+    sizes = []
+    for rating in ("G", "PG", "PG13", "R"):
+        view = write_string(
+            reference_view(root, parental_rules("kid", rating), "kid")
+        )
+        sizes.append(len(view))
+    assert sizes == sorted(sizes)
+    assert sizes[0] < sizes[-1]
+
+
+def test_subscription_rules_select_sections():
+    root = video_catalog(10)
+    view = write_string(
+        reference_view(root, subscription_rules("s", ["news"]), "s")
+    )
+    assert "<news>" in view
+    assert "<sports>" not in view
+
+
+def test_synthetic_rules_counts_and_signs():
+    rules = synthetic_rules(16, negative_fraction=0.5, seed=3)
+    assert len(rules) == 16
+    signs = rules.signs()
+    assert Sign.DENY in signs and Sign.PERMIT in signs
+    assert synthetic_rules(16, seed=3).signs() == synthetic_rules(16, seed=3).signs()
+
+
+def test_query_generators():
+    assert len(hospital_queries()) >= 5
+    query = random_query(["a", "b"], seed=1)
+    assert query.startswith("/")

@@ -1,0 +1,34 @@
+"""Unit tests for escaping and entity resolution."""
+
+from repro.xmlstream.escape import (
+    escape_attribute,
+    escape_text,
+    resolve_entity,
+)
+
+
+def test_escape_text_minimal():
+    assert escape_text('a<b>&"c"') == 'a&lt;b&gt;&amp;"c"'
+
+
+def test_escape_attribute_covers_quotes():
+    assert escape_attribute("\"'") == "&quot;&apos;"
+
+
+def test_named_entities():
+    for name, expected in [
+        ("amp", "&"), ("lt", "<"), ("gt", ">"), ("quot", '"'), ("apos", "'")
+    ]:
+        assert resolve_entity(name) == expected
+
+
+def test_numeric_entities():
+    assert resolve_entity("#65") == "A"
+    assert resolve_entity("#x41") == "A"
+    assert resolve_entity("#X41") == "A"
+
+
+def test_unknown_entities_return_none():
+    assert resolve_entity("nbsp") is None
+    assert resolve_entity("#xZZ") is None
+    assert resolve_entity("#") is None

@@ -1,0 +1,80 @@
+"""Unit tests for the event model and stream validation."""
+
+import pytest
+
+from repro.xmlstream.events import (
+    CloseEvent,
+    EventStreamError,
+    OpenEvent,
+    ValueEvent,
+    event_size,
+    events_to_paths,
+    validate_event_stream,
+)
+
+
+def test_open_event_attribute_lookup():
+    event = OpenEvent("a", (("x", "1"), ("y", "2")))
+    assert event.attribute("x") == "1"
+    assert event.attribute("missing") is None
+    assert event.attribute("missing", "d") == "d"
+
+
+def test_events_are_hashable_and_comparable():
+    assert OpenEvent("a") == OpenEvent("a")
+    assert len({OpenEvent("a"), OpenEvent("a"), CloseEvent("a")}) == 2
+
+
+def test_validate_accepts_wellformed():
+    events = [OpenEvent("a"), ValueEvent("x"), CloseEvent("a")]
+    assert list(validate_event_stream(events)) == events
+
+
+def test_validate_rejects_unbalanced_close():
+    with pytest.raises(EventStreamError):
+        list(validate_event_stream([OpenEvent("a"), CloseEvent("b")]))
+
+
+def test_validate_rejects_unclosed():
+    with pytest.raises(EventStreamError):
+        list(validate_event_stream([OpenEvent("a")]))
+
+
+def test_validate_rejects_two_roots():
+    events = [OpenEvent("a"), CloseEvent("a"), OpenEvent("b"), CloseEvent("b")]
+    with pytest.raises(EventStreamError):
+        list(validate_event_stream(events))
+
+
+def test_validate_rejects_toplevel_text():
+    with pytest.raises(EventStreamError):
+        list(validate_event_stream([ValueEvent("x")]))
+
+
+def test_validate_rejects_empty_stream():
+    with pytest.raises(EventStreamError):
+        list(validate_event_stream([]))
+
+
+def test_events_to_paths():
+    events = [
+        OpenEvent("a"),
+        OpenEvent("b"),
+        CloseEvent("b"),
+        OpenEvent("b"),
+        OpenEvent("c"),
+        CloseEvent("c"),
+        CloseEvent("b"),
+        CloseEvent("a"),
+    ]
+    assert list(events_to_paths(events)) == [
+        ("a",), ("a", "b"), ("a", "b"), ("a", "b", "c")
+    ]
+
+
+def test_event_size_scales_with_content():
+    small = event_size(OpenEvent("a"))
+    big = event_size(OpenEvent("a", (("attr", "value"),)))
+    assert big > small
+    assert event_size(ValueEvent("xyz")) == 3
+    assert event_size(CloseEvent("ab")) == 5

@@ -1,0 +1,158 @@
+"""Unit tests for the incremental XML event parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlstream.events import CloseEvent, OpenEvent, ValueEvent
+from repro.xmlstream.parser import XMLSyntaxError, parse_events, parse_string
+from repro.xmlstream.writer import write_string
+from repro.xmlstream.tree import tree_to_events
+
+from tests.strategies import elements
+
+
+def test_single_element():
+    assert parse_string("<a></a>") == [OpenEvent("a"), CloseEvent("a")]
+
+
+def test_self_closing_element():
+    assert parse_string("<a/>") == [OpenEvent("a"), CloseEvent("a")]
+
+
+def test_text_content():
+    events = parse_string("<a>hello</a>")
+    assert events == [OpenEvent("a"), ValueEvent("hello"), CloseEvent("a")]
+
+
+def test_nested_structure():
+    events = parse_string("<a><b>x</b><c/></a>")
+    assert events == [
+        OpenEvent("a"),
+        OpenEvent("b"),
+        ValueEvent("x"),
+        CloseEvent("b"),
+        OpenEvent("c"),
+        CloseEvent("c"),
+        CloseEvent("a"),
+    ]
+
+
+def test_attributes_double_and_single_quotes():
+    events = parse_string("""<a x="1" y='2'/>""")
+    assert events[0] == OpenEvent("a", (("x", "1"), ("y", "2")))
+
+
+def test_attribute_entities_decoded():
+    events = parse_string('<a t="&lt;&amp;&gt;"/>')
+    assert events[0].attribute("t") == "<&>"
+
+
+def test_text_entities_decoded():
+    events = parse_string("<a>&lt;tag&gt; &amp; &quot;q&quot; &#65;&#x42;</a>")
+    assert events[1] == ValueEvent('<tag> & "q" AB')
+
+
+def test_unknown_entity_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a>&nope;</a>")
+
+
+def test_cdata_section():
+    events = parse_string("<a><![CDATA[<not><parsed>&amp;]]></a>")
+    assert events[1] == ValueEvent("<not><parsed>&amp;")
+
+
+def test_cdata_merges_with_text():
+    events = parse_string("<a>x<![CDATA[y]]>z</a>")
+    assert events[1] == ValueEvent("xyz")
+
+
+def test_comments_skipped():
+    events = parse_string("<a><!-- hidden <b> --><c/></a>")
+    assert events == [
+        OpenEvent("a"), OpenEvent("c"), CloseEvent("c"), CloseEvent("a")
+    ]
+
+
+def test_processing_instruction_and_doctype_skipped():
+    text = "<?xml version='1.0'?><!DOCTYPE a><a/>"
+    assert parse_string(text) == [OpenEvent("a"), CloseEvent("a")]
+
+
+def test_whitespace_only_text_dropped_by_default():
+    events = parse_string("<a>\n  <b/>\n</a>")
+    assert events == [
+        OpenEvent("a"), OpenEvent("b"), CloseEvent("b"), CloseEvent("a")
+    ]
+
+
+def test_whitespace_kept_when_requested():
+    events = parse_string("<a> <b/></a>", keep_whitespace=True)
+    assert ValueEvent(" ") in events
+
+
+def test_mismatched_close_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a></b>")
+
+
+def test_unclosed_element_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a><b></b>")
+
+
+def test_multiple_roots_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a/><b/>")
+
+
+def test_text_outside_root_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a/>stray")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("   ")
+
+
+def test_unterminated_comment_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a><!-- oops</a>")
+
+
+def test_unterminated_cdata_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a><![CDATA[oops</a>")
+
+
+def test_malformed_attribute_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_string("<a x=1/>")
+
+
+def test_error_offsets_reported():
+    try:
+        parse_string("<a></b>")
+    except XMLSyntaxError as exc:
+        assert exc.offset > 0
+    else:  # pragma: no cover
+        pytest.fail("expected a syntax error")
+
+
+@settings(max_examples=100, deadline=None)
+@given(root=elements(), chunk=st.integers(min_value=1, max_value=7))
+def test_incremental_parsing_equals_whole_string(root, chunk):
+    """Chunking the input at arbitrary positions changes nothing."""
+    text = write_string(tree_to_events(root))
+    whole = parse_string(text)
+    pieces = [text[i:i + chunk] for i in range(0, len(text), chunk)]
+    assert list(parse_events(pieces)) == whole
+
+
+@settings(max_examples=100, deadline=None)
+@given(root=elements())
+def test_parse_write_round_trip(root):
+    events = list(tree_to_events(root))
+    assert parse_string(write_string(events)) == events

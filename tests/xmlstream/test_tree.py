@@ -1,0 +1,65 @@
+"""Unit tests for the tree model."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.xmlstream.events import OpenEvent
+from repro.xmlstream.tree import (
+    Element,
+    events_to_tree,
+    parse_tree,
+    tree_size,
+    tree_to_events,
+)
+
+from tests.strategies import elements
+
+
+def test_builder_style_construction():
+    root = Element("r")
+    child = root.child("c", "text", attr="v")
+    assert child.parent is root
+    assert child.text == "text"
+    assert child.attributes == {"attr": "v"}
+    assert root.element_children == [child]
+
+
+def test_paths_and_depth():
+    root = Element("a")
+    b = root.child("b")
+    c = b.child("c")
+    assert c.path() == ("a", "b", "c")
+    assert c.depth() == 3
+    assert list(c.ancestors()) == [b, root]
+
+
+def test_iter_is_document_order():
+    root = parse_tree("<a><b><c/></b><d/></a>")
+    assert [n.tag for n in root.iter()] == ["a", "b", "c", "d"]
+
+
+def test_find_all_excludes_self():
+    root = parse_tree("<a><a/><b><a/></b></a>")
+    assert len(root.find_all("a")) == 2
+
+
+def test_text_concatenates_direct_children_only():
+    root = parse_tree("<a>x<b>inner</b>y</a>")
+    assert root.text == "xy"
+
+
+def test_events_to_tree_rejects_malformed():
+    with pytest.raises(ValueError):
+        events_to_tree([OpenEvent("a")])
+
+
+def test_tree_size():
+    assert tree_size(parse_tree("<a><b/><c><d/></c></a>")) == 4
+
+
+@settings(max_examples=100, deadline=None)
+@given(root=elements())
+def test_tree_event_round_trip(root):
+    events = list(tree_to_events(root))
+    rebuilt = events_to_tree(events)
+    assert list(tree_to_events(rebuilt)) == events

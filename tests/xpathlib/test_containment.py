@@ -1,0 +1,80 @@
+"""Unit and property tests for the sound containment check."""
+
+from hypothesis import given, settings
+
+from repro.xpathlib.containment import contains, equivalent
+from repro.xpathlib.evaluator import evaluate_path
+from repro.xpathlib.parser import parse_path
+from repro.xmlstream.tree import tree_to_events
+
+from tests.strategies import elements, xpath_texts
+
+
+def _c(p: str, q: str) -> bool:
+    return contains(parse_path(p), parse_path(q))
+
+
+def test_reflexive():
+    for text in ("/a", "//a/b", "//a[b]/c", "//*"):
+        path = parse_path(text)
+        assert contains(path, path)
+
+
+def test_descendant_contains_child():
+    assert _c("//a", "/a")
+    assert not _c("/a", "//a//a")
+
+
+def test_wildcard_contains_named():
+    assert _c("//*", "//a")
+    assert not _c("//a", "//*")
+
+
+def test_longer_paths_contained():
+    assert _c("//b", "/a/b")
+    assert _c("//b", "//a//b")
+    assert not _c("/a/b", "//b")
+
+
+def test_predicate_relaxation():
+    # Dropping a predicate enlarges the result set.
+    assert _c("//a", "//a[b]")
+    assert not _c("//a[b]", "//a")
+
+
+def test_predicate_with_same_comparison():
+    assert _c('//a[b = "1"]', '//a[b = "1"]')
+    assert not _c('//a[b = "1"]', '//a[b = "2"]')
+    assert not _c('//a[b = "1"]', "//a[b]")
+
+
+def test_structural_containment_with_predicates():
+    assert _c("//a[b]", "/a[b[c]]")
+    assert _c("//a[.//x]", "//a[b/x]")
+
+
+def test_equivalent():
+    assert equivalent(parse_path("/a/b"), parse_path("/a/b"))
+    assert not equivalent(parse_path("/a/b"), parse_path("//b"))
+
+
+def test_output_node_must_map():
+    # Same node set shape, but the output node differs.
+    assert not _c("/a/b", "/a[b]")
+    assert not _c("/a[b]", "/a/b")
+
+
+@settings(max_examples=150, deadline=None)
+@given(root=elements(), p=xpath_texts(), q=xpath_texts())
+def test_containment_is_sound(root, p, q):
+    """If containment is proven, the node sets must actually nest."""
+    from repro.xmlstream.writer import write_string
+
+    p_path, q_path = parse_path(p), parse_path(q)
+    if contains(p_path, q_path):
+        p_nodes = {id(n) for n in evaluate_path(p_path, root)}
+        q_nodes = {id(n) for n in evaluate_path(q_path, root)}
+        document = write_string(tree_to_events(root))
+        assert q_nodes <= p_nodes, (
+            f"claimed {q} ⊆ {p} but node sets disagree on {document}"
+        )

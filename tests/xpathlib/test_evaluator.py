@@ -1,0 +1,107 @@
+"""Unit tests for the reference XPath evaluator."""
+
+import pytest
+
+from repro.xmlstream.tree import parse_tree
+from repro.xpathlib.evaluator import evaluate_path, node_matches_path
+from repro.xpathlib.parser import parse_path
+
+
+def _tags(nodes):
+    return [node.tag for node in nodes]
+
+
+def _texts(nodes):
+    return [node.text for node in nodes]
+
+
+TREE = parse_tree(
+    "<a><b><c>1</c><d>x</d></b><b><d>y</d></b><e><b><c>2</c></b></e></a>"
+)
+
+
+def test_root_child_step():
+    assert _tags(evaluate_path(parse_path("/a"), TREE)) == ["a"]
+    assert evaluate_path(parse_path("/b"), TREE) == []
+
+
+def test_descendant_includes_all_levels():
+    assert len(evaluate_path(parse_path("//b"), TREE)) == 3
+
+
+def test_descendant_includes_root():
+    assert _tags(evaluate_path(parse_path("//a"), TREE)) == ["a"]
+
+
+def test_child_chain():
+    assert _texts(evaluate_path(parse_path("/a/b/d"), TREE)) == ["x", "y"]
+
+
+def test_descendant_then_child():
+    assert _texts(evaluate_path(parse_path("//b/c"), TREE)) == ["1", "2"]
+
+
+def test_proper_descendant_semantics():
+    # //e//b: b strictly below e.
+    assert len(evaluate_path(parse_path("//e//b"), TREE)) == 1
+    # //b//b: no b nested under another b here.
+    assert evaluate_path(parse_path("//b//b"), TREE) == []
+
+
+def test_wildcard_step():
+    assert _tags(evaluate_path(parse_path("/a/*"), TREE)) == ["b", "b", "e"]
+
+
+def test_existence_predicate_filters():
+    assert len(evaluate_path(parse_path("//b[c]"), TREE)) == 2
+    assert _texts(evaluate_path(parse_path("//b[c]/d"), TREE)) == ["x"]
+
+
+def test_value_predicate():
+    assert len(evaluate_path(parse_path('//b[c = "1"]'), TREE)) == 1
+    assert len(evaluate_path(parse_path('//b[c = "3"]'), TREE)) == 0
+
+
+def test_numeric_comparison():
+    assert len(evaluate_path(parse_path("//b[c < 2]"), TREE)) == 1
+    assert len(evaluate_path(parse_path("//b[c >= 1]"), TREE)) == 2
+
+
+def test_dot_predicate():
+    assert len(evaluate_path(parse_path('//d[. = "x"]'), TREE)) == 1
+
+
+def test_nested_predicate():
+    tree = parse_tree("<r><a><b><c/></b></a><a><b/></a></r>")
+    assert len(evaluate_path(parse_path("//a[b[c]]"), tree)) == 1
+
+
+def test_descendant_predicate_path():
+    tree = parse_tree("<r><a><x><deep/></x></a><a/></r>")
+    assert len(evaluate_path(parse_path("//a[.//deep]"), tree)) == 1
+
+
+def test_document_order_and_no_duplicates():
+    tree = parse_tree("<r><a><a/></a></r>")
+    nodes = evaluate_path(parse_path("//a"), tree)
+    assert len(nodes) == 2
+    assert nodes[0] is not nodes[1]
+    # Parent before child (document order).
+    assert nodes[1] in nodes[0].element_children
+
+
+def test_node_matches_path():
+    b_nodes = TREE.find_all("b")
+    assert node_matches_path(b_nodes[0], parse_path("//b[c]"), TREE)
+    assert not node_matches_path(b_nodes[1], parse_path("//b[c]"), TREE)
+
+
+def test_relative_path_requires_context():
+    with pytest.raises(ValueError):
+        evaluate_path(parse_path("//a[b]").steps[0].predicates[0].path, TREE)
+
+
+def test_relative_evaluation_from_context():
+    context = TREE.element_children[0]  # first b
+    relative = parse_path("//a[c]").steps[0].predicates[0].path
+    assert _texts(evaluate_path(relative, TREE, context)) == ["1"]
