@@ -1,0 +1,160 @@
+"""E12 -- the compile/evaluate split: cache amortization + shared pass.
+
+Two measurements motivated by the push scenario (one stream, many
+subscribers) and by heavy multi-session traffic:
+
+1. *Compile amortization*: repeated ``AccessController`` construction
+   for the same (ruleset, subject).  Through a
+   :class:`~repro.core.compiled.PolicyRegistry` every construction
+   after the first performs **zero** ``compile_path`` calls; the table
+   reports wall time and compile counts with and without the cache.
+
+2. *Shared-pass dissemination*: the authorized views of a
+   10-subscriber broadcast, computed (a) the per-pass way -- one full
+   evaluation per subscriber, recompiling its policy each time -- and
+   (b) with :func:`~repro.core.multicast.multicast_views` -- one parse
+   pass pumping all subscribers' automata at once.  Views are asserted
+   byte-identical; the acceptance bar is a >= 2x throughput gain.
+"""
+
+import time
+
+from _common import emit
+
+from repro.core.compiled import PolicyRegistry, compile_policy
+from repro.core.multicast import multicast_views
+from repro.core.nfa import compile_call_count
+from repro.core.pipeline import AccessController, authorized_view
+from repro.core.rules import AccessRule, RuleSet
+from repro.workloads.docgen import video_catalog, _CATEGORIES
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.parser import parse_string
+from repro.xmlstream.tree import tree_to_events
+from repro.xmlstream.writer import write_string
+
+N_SUBSCRIBERS = 10
+N_CONSTRUCTIONS = 200
+
+
+def _subscriber_policy() -> tuple[RuleSet, list[str]]:
+    """One merged rule set covering 10 subscribers on cycling tiers."""
+    rules: list[AccessRule] = []
+    names: list[str] = []
+    for index in range(N_SUBSCRIBERS):
+        name = f"sub{index:02d}"
+        names.append(name)
+        tier = _CATEGORIES[: 1 + index % len(_CATEGORIES)]
+        for cat_index, category in enumerate(tier):
+            rules.append(
+                AccessRule.parse(
+                    "+", name, f"/stream/{category}",
+                    rule_id=f"E12-{index}-{cat_index}",
+                )
+            )
+    return RuleSet(rules), names
+
+
+def _measure_construction() -> list:
+    rules = hospital_rules()
+    start = compile_call_count()
+    t0 = time.perf_counter()
+    for __ in range(N_CONSTRUCTIONS):
+        AccessController(rules, "doctor")
+    cold_time = time.perf_counter() - t0
+    cold_compiles = compile_call_count() - start
+
+    registry = PolicyRegistry()
+    start = compile_call_count()
+    t0 = time.perf_counter()
+    for __ in range(N_CONSTRUCTIONS):
+        AccessController(rules, "doctor", registry=registry)
+    warm_time = time.perf_counter() - t0
+    warm_compiles = compile_call_count() - start
+    return [
+        f"controller x{N_CONSTRUCTIONS}",
+        round(cold_time * 1e3, 2),
+        round(warm_time * 1e3, 2),
+        cold_compiles,
+        warm_compiles,
+        round(cold_time / warm_time, 2),
+    ]
+
+
+def _measure_broadcast(n_videos: int = 40) -> tuple[list, float]:
+    # The broadcast arrives serialized; the per-pass baseline parses
+    # and evaluates it once per subscriber, the shared pass parses it
+    # once and pumps every subscriber's automata together.
+    xml_text = write_string(tree_to_events(video_catalog(n_videos)))
+    rules, names = _subscriber_policy()
+
+    start = compile_call_count()
+    t0 = time.perf_counter()
+    per_pass = {
+        name: write_string(authorized_view(parse_string(xml_text), rules, name))
+        for name in names
+    }
+    per_pass_time = time.perf_counter() - t0
+    per_pass_compiles = compile_call_count() - start
+
+    registry = PolicyRegistry()
+    start = compile_call_count()
+    t0 = time.perf_counter()
+    shared = multicast_views(
+        parse_string(xml_text), rules, names, registry=registry
+    )
+    shared_time = time.perf_counter() - t0
+    shared_compiles = compile_call_count() - start
+
+    for name in names:
+        assert write_string(shared[name]) == per_pass[name], (
+            f"shared-pass view diverged for {name}"
+        )
+    speedup = per_pass_time / shared_time
+    return [
+        f"broadcast, {len(names)} subscribers",
+        round(per_pass_time * 1e3, 2),
+        round(shared_time * 1e3, 2),
+        per_pass_compiles,
+        shared_compiles,
+        round(speedup, 2),
+    ], speedup
+
+
+def run_experiment():
+    headers = [
+        "scenario", "per-pass ms", "cached/shared ms",
+        "compiles before", "compiles after", "speedup",
+    ]
+    rows = [_measure_construction()]
+    broadcast_row, _ = _measure_broadcast()
+    rows.append(broadcast_row)
+    return (
+        "E12: compile-once amortization and shared-pass dissemination",
+        headers,
+        rows,
+    )
+
+
+def test_e12_compile_cache(benchmark):
+    events = list(tree_to_events(video_catalog(20)))
+    rules, names = _subscriber_policy()
+    registry = PolicyRegistry()
+    benchmark.pedantic(
+        lambda: multicast_views(events, rules, names, registry=registry),
+        rounds=3,
+        iterations=1,
+    )
+    # Registry guarantee: zero compiles after the first construction.
+    reg = PolicyRegistry()
+    AccessController(rules, names[0], registry=reg)
+    before = compile_call_count()
+    AccessController(rules, names[0], registry=reg)
+    assert compile_call_count() == before
+    # Acceptance bar: shared pass beats per-pass recompilation >= 2x.
+    _, speedup = _measure_broadcast(n_videos=40)
+    assert speedup >= 2.0, f"shared-pass speedup only {speedup:.2f}x"
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    emit(*run_experiment())

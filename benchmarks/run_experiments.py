@@ -1,14 +1,17 @@
-"""Regenerate every experiment table (E1..E10) in one run.
+"""Regenerate every experiment table (E1..E12) in one run.
 
 Usage::
 
-    python benchmarks/run_experiments.py
+    python benchmarks/run_experiments.py            # the full battery
+    python benchmarks/run_experiments.py --quick    # CI smoke subset
+    python benchmarks/run_experiments.py --only e12 # one experiment
 
 The output is the source of the measured numbers in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import pathlib
 import sys
@@ -16,6 +19,25 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).parent
 MODULES = sorted(BENCH_DIR.glob("bench_e*.py"))
+
+#: Small, fast experiments exercised by CI's smoke run (--quick).
+QUICK = {"bench_e2_skip_benefit", "bench_e8_policy_churn", "bench_e12_compile_cache"}
+
+
+def _select(quick: bool, only: str | None) -> list[pathlib.Path]:
+    if only is not None:
+        wanted = only.lower()
+        chosen = [
+            path
+            for path in MODULES
+            if path.stem.split("_")[1] == wanted or path.stem == wanted
+        ]
+        if not chosen:
+            raise SystemExit(f"no experiment matches {only!r}")
+        return chosen
+    if quick:
+        return [path for path in MODULES if path.stem in QUICK]
+    return list(MODULES)
 
 
 def _load(path: pathlib.Path):
@@ -32,8 +54,22 @@ def _load(path: pathlib.Path):
 def main() -> None:
     from repro.bench.harness import print_table
 
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the fast smoke subset (CI)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="EN",
+        default=None,
+        help="run a single experiment, e.g. --only e12",
+    )
+    args = parser.parse_args()
+
     total_start = time.time()
-    for path in MODULES:
+    for path in _select(args.quick, args.only):
         module = _load(path)
         start = time.time()
         title, headers, rows = module.run_experiment()

@@ -1,4 +1,11 @@
-"""Shim so legacy editable installs work without the ``wheel`` package."""
+"""Compatibility shim: all metadata lives in ``pyproject.toml``.
+
+Kept only for offline environments whose setuptools predates the
+built-in ``bdist_wheel`` and that cannot fetch the ``wheel`` package:
+there, ``python setup.py develop`` still provides an editable install.
+Normal environments should use ``pip install -e .``, which reads
+``pyproject.toml`` directly.
+"""
 
 from setuptools import setup
 

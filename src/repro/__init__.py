@@ -24,24 +24,32 @@ See ``examples/`` for the full smart-card architecture in action.
 from repro.core import (
     AccessController,
     AccessRule,
+    CompiledPolicy,
+    MultiSubjectEvaluator,
+    PolicyRegistry,
     RuleSet,
     Sign,
     Subject,
     ViewMode,
     authorized_view,
+    compile_policy,
+    multicast_views,
     reference_view,
 )
 from repro.skipindex import IndexMode
 from repro.smartcard import PendingStrategy, SmartCard
 from repro.terminal import Publisher, Terminal
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessController",
     "AccessRule",
+    "CompiledPolicy",
     "IndexMode",
+    "MultiSubjectEvaluator",
     "PendingStrategy",
+    "PolicyRegistry",
     "Publisher",
     "RuleSet",
     "Sign",
@@ -50,6 +58,8 @@ __all__ = [
     "Terminal",
     "ViewMode",
     "authorized_view",
+    "compile_policy",
+    "multicast_views",
     "reference_view",
     "__version__",
 ]

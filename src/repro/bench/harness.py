@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.core.rules import RuleSet
 from repro.crypto.pki import SimulatedPKI
@@ -40,6 +41,9 @@ class PullSetup:
     strict_memory: bool = False
     doc_id: str = "bench-doc"
     owner: str = "owner"
+    #: Optional compiled-policy cache shared across sessions; sweeps
+    #: that re-run the same policy point pay compilation only once.
+    registry: PolicyRegistry | None = None
 
 
 @dataclass(slots=True)
@@ -75,6 +79,7 @@ def run_pull_session(setup: PullSetup) -> PullOutcome:
         pki,
         ram_quota=setup.ram_quota,
         strict_memory=setup.strict_memory,
+        registry=setup.registry,
     )
     result, metrics = terminal.query(
         setup.doc_id,

@@ -20,7 +20,13 @@ The package implements Section 2 of the paper:
 """
 
 from repro.core.analysis import PolicyReport, analyse, conflicts, minimize
+from repro.core.compiled import CompiledPolicy, PolicyRegistry, compile_policy
 from repro.core.delivery import ViewMode
+from repro.core.multicast import (
+    MultiSubjectEvaluator,
+    multicast_view_texts,
+    multicast_views,
+)
 from repro.core.pipeline import AccessController, authorized_view
 from repro.core.reference import reference_view
 from repro.core.rules import AccessRule, RuleSet, Sign, Subject
@@ -28,6 +34,9 @@ from repro.core.rules import AccessRule, RuleSet, Sign, Subject
 __all__ = [
     "AccessController",
     "AccessRule",
+    "CompiledPolicy",
+    "MultiSubjectEvaluator",
+    "PolicyRegistry",
     "PolicyReport",
     "RuleSet",
     "Sign",
@@ -35,7 +44,10 @@ __all__ = [
     "ViewMode",
     "analyse",
     "authorized_view",
+    "compile_policy",
     "conflicts",
     "minimize",
+    "multicast_view_texts",
+    "multicast_views",
     "reference_view",
 ]

@@ -1,0 +1,319 @@
+"""Compile-once / evaluate-many policy layer.
+
+The paper's engine compiles access rules into automata when the policy
+is uploaded and then streams many documents through them (Section 2.3).
+The seed reproduction instead recompiled every rule path on each
+:class:`~repro.core.pipeline.AccessController` construction -- once per
+(document, subject) pass.  This module restores the paper's split:
+
+* :class:`CompiledPolicy` is the frozen product of compilation: the
+  rule automata, their signs, the total automaton state count and the
+  modeled secure-RAM cost.  It is immutable and safe to share between
+  any number of concurrent evaluations.
+* :func:`compile_policy` builds one from a :class:`RuleSet`.
+* :class:`PolicyRegistry` is an LRU cache of compiled policies keyed by
+  ``(ruleset_fingerprint, subject, default)``, with explicit
+  invalidation for policy churn and a secondary cache for compiled
+  query paths.
+
+Per-document setup through this layer allocates only tokens and
+frames; NFAs are compiled exactly once per distinct policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.nfa import CompiledPath, compile_path
+from repro.core.rules import RuleSet, Sign, Subject
+from repro.xpathlib.ast import Path
+from repro.xpathlib.parser import parse_path
+
+#: Modeled RAM cost of one compiled automaton state (compact C layout).
+#: Historically defined in :mod:`repro.smartcard.applet`; it lives here
+#: now so the RAM model travels with the compiled artifact.
+AUTOMATON_STATE_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPolicy:
+    """The frozen, shareable result of compiling one subject's policy.
+
+    ``automata[i]`` carries sign ``signs[i]``; ``default`` is the
+    closed/open-world default the decision chain starts from.
+    ``state_count`` totals every navigational and predicate state, so
+    the card can charge secure RAM without recompiling anything.
+    ``fingerprint`` is the content hash of the *effective* (already
+    subject-filtered) sub-policy -- two subjects whose rights coincide
+    compile to the same fingerprint.
+    """
+
+    fingerprint: str
+    subject: Subject | None
+    default: Sign
+    automata: tuple[CompiledPath, ...]
+    signs: tuple[Sign, ...]
+    state_count: int
+
+    def __len__(self) -> int:
+        return len(self.automata)
+
+    @property
+    def ram_bytes(self) -> int:
+        """Modeled secure-RAM footprint of the compiled automata."""
+        return self.state_count * AUTOMATON_STATE_BYTES
+
+
+def _subject_key(subject: Subject | str | None) -> Subject | None:
+    if isinstance(subject, str):
+        return Subject(subject)
+    return subject
+
+
+def compile_policy(
+    rules: RuleSet,
+    subject: Subject | str | None = None,
+    default: Sign = Sign.DENY,
+) -> CompiledPolicy:
+    """Compile the sub-policy of ``rules`` applying to ``subject``.
+
+    ``subject=None`` means the rule set is already subject-specific
+    (that is how the card receives it: the DSP stores per-subject
+    encrypted rule sets).
+    """
+    subject = _subject_key(subject)
+    if subject is not None:
+        rules = rules.for_subject(subject)
+    automata: list[CompiledPath] = []
+    signs: list[Sign] = []
+    for rule in rules:
+        automata.append(compile_path(rule.object))
+        signs.append(rule.sign)
+    return CompiledPolicy(
+        fingerprint=rules.fingerprint(),
+        subject=subject,
+        default=default,
+        automata=tuple(automata),
+        signs=tuple(signs),
+        state_count=sum(path.state_count() for path in automata),
+    )
+
+
+class RegistryStats:
+    """Counters of one registry's cache behavior."""
+
+    __slots__ = ("hits", "misses", "query_hits", "query_misses", "evictions", "invalidated")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.query_hits = 0
+        self.query_misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegistryStats(hits={self.hits}, misses={self.misses}, "
+            f"query_hits={self.query_hits}, query_misses={self.query_misses}, "
+            f"evictions={self.evictions}, invalidated={self.invalidated})"
+        )
+
+
+class PolicyRegistry:
+    """An LRU cache of :class:`CompiledPolicy` objects.
+
+    Conceptually keyed by ``(ruleset, subject, default)``; physically
+    the key is the content fingerprint of the *effective* sub-policy
+    -- ``rules.for_subject(subject)`` -- plus the default sign.  Two
+    subjects whose rights coincide (e.g. two members of the same
+    subscription tier) therefore share one entry and one set of
+    compiled automata, and policy churn (a changed, added or removed
+    rule) naturally misses and compiles fresh automata.
+
+    A side index maps each *source* rule set's fingerprint (current
+    and, via :meth:`~repro.core.rules.RuleSet.fingerprint_history`,
+    recently superseded) to the entries it produced, so
+    :meth:`invalidate` can eagerly evict a retired policy generation
+    -- even when the rule set was churned in place -- instead of
+    letting it linger until LRU pressure.  The index is kept in
+    lock-step with the entries (a reverse map cleans it on eviction),
+    so invalidation never silently misses a live entry.
+
+    The registry also caches compiled *query* paths (pull scenarios),
+    keyed by their text form.  All methods are thread-safe.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("registry capacity must be positive")
+        self.capacity = capacity
+        self.stats = RegistryStats()
+        self._lock = threading.Lock()
+        self._policies: OrderedDict[tuple[str, Sign], CompiledPolicy] = (
+            OrderedDict()
+        )
+        # source ruleset fingerprint -> the policy keys it produced,
+        # plus the reverse map used to clean up on eviction.
+        self._sources: dict[str, set[tuple[str, Sign]]] = {}
+        self._key_sources: dict[tuple[str, Sign], set[str]] = {}
+        # (source fingerprint, subject, default) -> policy key: an O(1)
+        # accelerator so warm lookups skip the for_subject filter and
+        # the effective-fingerprint hash.  Entries may dangle after an
+        # eviction; a dangling alias just falls back to the slow path.
+        self._aliases: OrderedDict[
+            tuple[str, Subject | None, Sign], tuple[str, Sign]
+        ] = OrderedDict()
+        self._queries: OrderedDict[str, CompiledPath] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __bool__(self) -> bool:
+        # An empty registry is still a registry: callers use
+        # ``registry or PolicyRegistry()``-style defaulting, which must
+        # not silently replace an empty shared cache.
+        return True
+
+    # -- policies ---------------------------------------------------------
+
+    def get(
+        self,
+        rules: Union[RuleSet, "CompiledPolicy"],
+        subject: Subject | str | None = None,
+        default: Sign = Sign.DENY,
+    ) -> CompiledPolicy:
+        """The compiled policy for ``(rules, subject, default)``.
+
+        Compiles on the first request and returns the cached automata
+        afterwards.  A prebuilt :class:`CompiledPolicy` passes through
+        untouched.
+        """
+        if isinstance(rules, CompiledPolicy):
+            return rules
+        source_fingerprint = rules.fingerprint()
+        subject = _subject_key(subject)
+        alias = (source_fingerprint, subject, default)
+        with self._lock:
+            key = self._aliases.get(alias)
+            if key is not None:
+                cached = self._policies.get(key)
+                if cached is not None:
+                    self._aliases.move_to_end(alias)
+                    self._policies.move_to_end(key)
+                    self.stats.hits += 1
+                    return cached
+        # Slow path: filter the sub-policy and hash it.  Compilation
+        # happens outside the lock: it is pure, and a rare duplicate
+        # compile is cheaper than serializing all compiles.
+        effective = rules.for_subject(subject) if subject is not None else rules
+        key = (effective.fingerprint(), default)
+        with self._lock:
+            self._index_source(source_fingerprint, alias, key)
+            cached = self._policies.get(key)
+            if cached is not None:
+                self._policies.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+        policy = compile_policy(effective, None, default)
+        with self._lock:
+            self.stats.misses += 1
+            self._policies[key] = policy
+            self._policies.move_to_end(key)
+            while len(self._policies) > self.capacity:
+                evicted, __ = self._policies.popitem(last=False)
+                self._unindex(evicted)
+                self.stats.evictions += 1
+        return policy
+
+    def _index_source(
+        self,
+        fingerprint: str,
+        alias: tuple[str, Subject | None, Sign],
+        key: tuple[str, Sign],
+    ) -> None:
+        self._sources.setdefault(fingerprint, set()).add(key)
+        self._key_sources.setdefault(key, set()).add(fingerprint)
+        self._aliases[alias] = key
+        self._aliases.move_to_end(alias)
+        # Aliases are a pure accelerator -- bound them independently;
+        # dropping one only costs a slow-path lookup later.
+        while len(self._aliases) > 4 * self.capacity:
+            self._aliases.popitem(last=False)
+
+    def _unindex(self, key: tuple[str, Sign]) -> None:
+        """Remove a dead policy key from the source index."""
+        for fingerprint in self._key_sources.pop(key, ()):
+            keys = self._sources.get(fingerprint)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._sources[fingerprint]
+
+    def invalidate(self, rules: Union[RuleSet, str, None] = None) -> int:
+        """Evict cached policies; returns the number of entries dropped.
+
+        ``rules`` may be the rule set itself (current *and* recently
+        superseded in-place generations are evicted, via its
+        fingerprint history), a source fingerprint string, or ``None``
+        to drop everything including cached queries.
+        """
+        with self._lock:
+            if rules is None:
+                dropped = len(self._policies) + len(self._queries)
+                self._policies.clear()
+                self._sources.clear()
+                self._key_sources.clear()
+                self._aliases.clear()
+                self._queries.clear()
+            else:
+                if isinstance(rules, str):
+                    fingerprints = {rules}
+                else:
+                    fingerprints = {rules.fingerprint()}
+                    fingerprints.update(rules.fingerprint_history())
+                dropped = 0
+                for fingerprint in fingerprints:
+                    for key in self._sources.pop(fingerprint, set()).copy():
+                        if self._policies.pop(key, None) is not None:
+                            dropped += 1
+                        self._unindex(key)
+            self.stats.invalidated += dropped
+            return dropped
+
+    def clear(self) -> None:
+        """Drop every cached policy and query."""
+        self.invalidate(None)
+
+    # -- queries ----------------------------------------------------------
+
+    def get_query(self, query: Union[str, Path, CompiledPath]) -> CompiledPath:
+        """The compiled automaton of one query path, cached by text."""
+        if isinstance(query, CompiledPath):
+            return query
+        if isinstance(query, str):
+            key = query
+            parsed: Path | None = None
+        else:
+            key = str(query)
+            parsed = query
+        with self._lock:
+            cached = self._queries.get(key)
+            if cached is not None:
+                self._queries.move_to_end(key)
+                self.stats.query_hits += 1
+                return cached
+        if parsed is None:
+            parsed = parse_path(query)  # type: ignore[arg-type]
+        compiled = compile_path(parsed)
+        with self._lock:
+            self.stats.query_misses += 1
+            self._queries[key] = compiled
+            self._queries.move_to_end(key)
+            while len(self._queries) > self.capacity:
+                self._queries.popitem(last=False)
+                self.stats.evictions += 1
+        return compiled

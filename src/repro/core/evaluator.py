@@ -16,9 +16,10 @@ engine.
 
 from __future__ import annotations
 
+from repro.core.compiled import CompiledPolicy, compile_policy
 from repro.core.conditions import Condition
 from repro.core.decisions import DECISION_BYTES, DecisionNode
-from repro.core.nfa import compile_path
+from repro.core.nfa import CompiledPath, compile_path
 from repro.core.rules import RuleSet, Sign, Subject
 from repro.core.runtime import EngineStats, TokenEngine
 from repro.xpathlib.ast import Path
@@ -60,6 +61,27 @@ class StreamingEvaluator:
     # -- construction -----------------------------------------------------
 
     @classmethod
+    def from_compiled(
+        cls,
+        policy: CompiledPolicy,
+        memory=None,
+        stats: EngineStats | None = None,
+    ) -> "StreamingEvaluator":
+        """Build an evaluator around prebuilt automata.
+
+        This is the hot construction path: it seeds one token per
+        automaton and allocates nothing else -- no parsing, no NFA
+        compilation.  The same :class:`CompiledPolicy` may back any
+        number of concurrent evaluators.
+        """
+        evaluator = cls(policy.default, memory=memory, stats=stats)
+        evaluator._engine.add_policy(
+            policy,
+            [_RuleSink(evaluator, sign) for sign in policy.signs],
+        )
+        return evaluator
+
+    @classmethod
     def for_policy(
         cls,
         rules: RuleSet,
@@ -70,34 +92,44 @@ class StreamingEvaluator:
     ) -> "StreamingEvaluator":
         """Build the access-control evaluator for one subject.
 
+        Thin wrapper over :meth:`from_compiled` that compiles the
+        policy on the spot.  Callers that evaluate the same policy many
+        times should compile once (or use a
+        :class:`~repro.core.compiled.PolicyRegistry`) and call
+        :meth:`from_compiled` instead.
+
         ``subject=None`` means the rule set is already subject-specific
         (that is how the card receives it: the DSP stores per-subject
         encrypted rule sets).
         """
-        evaluator = cls(default, memory=memory, stats=stats)
-        if subject is not None:
-            rules = rules.for_subject(subject)
-        for rule in rules:
-            evaluator.add_rule_path(rule.object, rule.sign)
-        return evaluator
+        return cls.from_compiled(
+            compile_policy(rules, subject, default), memory=memory, stats=stats
+        )
 
     @classmethod
     def for_query(
         cls,
-        query: Path,
+        query: Path | CompiledPath,
         memory=None,
         stats: EngineStats | None = None,
     ) -> "StreamingEvaluator":
         """Build a selector: nodes in the query's subtrees are PERMIT."""
         evaluator = cls(Sign.DENY, memory=memory, stats=stats)
-        evaluator.add_rule_path(query, Sign.PERMIT)
+        if isinstance(query, CompiledPath):
+            evaluator.add_compiled_path(query, Sign.PERMIT)
+        else:
+            evaluator.add_rule_path(query, Sign.PERMIT)
         return evaluator
 
     def add_rule_path(self, path: Path, sign: Sign) -> None:
-        """Register one signed path (before parsing starts)."""
+        """Compile and register one signed path (before parsing starts)."""
+        self.add_compiled_path(compile_path(path), sign)
+
+    def add_compiled_path(self, path: CompiledPath, sign: Sign) -> None:
+        """Register one prebuilt signed automaton (before parsing starts)."""
         if self._sealed:
             raise RuntimeError("cannot add rules after parsing started")
-        self._engine.add_automaton(compile_path(path), _RuleSink(self, sign))
+        self._engine.add_automaton(path, _RuleSink(self, sign))
 
     # -- events -------------------------------------------------------------
 

@@ -1,0 +1,201 @@
+"""Shared-pass evaluation of one document against many subjects.
+
+The push scenario (Section 4 of the paper) broadcasts one stream to a
+whole community; every subscriber holds different rights but the
+*document events are the same for everyone*.  Evaluating each
+subscriber in isolation parses (and tokenizes, and advances automata
+over) the identical stream N times.  This module amortizes that: one
+:class:`~repro.core.runtime.TokenEngine` pumps every subscriber's
+automata over a single pass of the event stream, while each subscriber
+keeps a private decision stack and delivery engine (their views
+genuinely differ).
+
+Shared automata are shared for real: when two subscribers carry the
+same compiled policy (one registry entry -- e.g. two members of the
+same subscription tier), their predicate conditions are instantiated
+once and both lanes' decisions hang off the same condition objects.
+
+This mirrors the amortization argument of dissemination systems such
+as Sampaio et al. ("Secure and Privacy-Aware Data Dissemination for
+Cloud-Based Applications"): policy evaluation cost must be shared
+across recipients for broadcast to scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.compiled import CompiledPolicy, PolicyRegistry, compile_policy
+from repro.core.conditions import Condition
+from repro.core.decisions import DecisionNode
+from repro.core.delivery import DeliveryEngine, ViewMode
+from repro.core.rules import RuleSet, Sign, Subject
+from repro.core.runtime import EngineStats, TokenEngine
+from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
+from repro.xmlstream.writer import write_string
+
+
+class _LaneSink:
+    """Routes one automaton's completed matches to its subject's lane."""
+
+    __slots__ = ("lane", "sign")
+
+    def __init__(self, lane: "_Lane", sign: Sign) -> None:
+        self.lane = lane
+        self.sign = sign
+
+    def on_match(self, conditions: frozenset[Condition]) -> None:
+        self.lane.collected.append((self.sign, conditions))
+
+
+class _Lane:
+    """One subject's private state within the shared pass."""
+
+    __slots__ = ("policy", "delivery", "decisions", "collected")
+
+    def __init__(self, policy: CompiledPolicy, mode: ViewMode) -> None:
+        self.policy = policy
+        self.delivery = DeliveryEngine(mode)
+        self.decisions: list[DecisionNode] = [
+            DecisionNode.default_root(policy.default)
+        ]
+        self.collected: list[tuple[Sign, frozenset[Condition]]] = []
+
+
+class MultiSubjectEvaluator:
+    """Evaluates one event stream once against N compiled policies.
+
+    ``feed`` returns one output-event list per lane (same order as the
+    ``policies`` argument); ``finish`` returns the final lists.  The
+    document is parsed once, the token stack is pumped once per event,
+    and only the per-subject decision folding and delivery run N times.
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[CompiledPolicy],
+        mode: ViewMode = ViewMode.SKELETON,
+        stats: EngineStats | None = None,
+    ) -> None:
+        if not policies:
+            raise ValueError("at least one policy required")
+        self.stats = stats or EngineStats()
+        self._engine = TokenEngine(stats=self.stats)
+        self._lanes: list[_Lane] = []
+        for policy in policies:
+            lane = _Lane(policy, mode)
+            self._engine.add_policy(
+                policy, [_LaneSink(lane, sign) for sign in policy.signs]
+            )
+            self._lanes.append(lane)
+        self._depth = 0
+        self._finished = False
+
+    @property
+    def lane_count(self) -> int:
+        return len(self._lanes)
+
+    def feed(self, event: Event) -> list[list[Event]]:
+        """Process one event; return the per-lane output it released."""
+        if self._finished:
+            raise RuntimeError("evaluator already finished")
+        if isinstance(event, OpenEvent):
+            for lane in self._lanes:
+                lane.collected.clear()
+            self._engine.open(event.tag)
+            for lane in self._lanes:
+                node = DecisionNode(parent=lane.decisions[-1])
+                for sign, conditions in lane.collected:
+                    node.add_match(sign, conditions)
+                lane.decisions.append(node)
+                lane.delivery.open(event, node)
+            self._depth += 1
+        elif isinstance(event, ValueEvent):
+            if self._depth == 0:
+                raise ValueError("text event outside the root element")
+            self._engine.value(event.text)
+            for lane in self._lanes:
+                lane.delivery.value(event)
+        elif isinstance(event, CloseEvent):
+            if self._depth == 0:
+                raise ValueError("unbalanced close event")
+            for lane in self._lanes:
+                lane.delivery.close(event)
+            self._engine.close()
+            for lane in self._lanes:
+                lane.decisions.pop()
+            self._depth -= 1
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not an event: {event!r}")
+        return [lane.delivery.drain() for lane in self._lanes]
+
+    def finish(self) -> list[list[Event]]:
+        """Signal end of document; return the final per-lane output."""
+        if self._depth != 0:
+            raise ValueError("document ended with unclosed elements")
+        self._finished = True
+        return [lane.delivery.finish() for lane in self._lanes]
+
+    def active_token_count(self) -> int:
+        return self._engine.active_token_count()
+
+
+def multicast_views(
+    events: Iterable[Event],
+    rules: RuleSet,
+    subjects: Sequence[Subject | str],
+    default: Sign = Sign.DENY,
+    mode: ViewMode = ViewMode.SKELETON,
+    registry: PolicyRegistry | None = None,
+    stats: EngineStats | None = None,
+) -> dict[str, list[Event]]:
+    """Authorized views of every subject, computed in one parse pass.
+
+    Returns ``{subject name: output events}`` (empty for an empty
+    audience).  Subject names must be unique -- results are keyed by
+    name, and silently collapsing two subjects could hand one of them
+    the other's (possibly more permissive) view.  With a ``registry``,
+    subjects sharing a sub-policy also share compiled automata (and
+    their runtime tokens and conditions inside the shared engine).
+    """
+    if not subjects:
+        return {}
+    policies: list[CompiledPolicy] = []
+    names: list[str] = []
+    for subject in subjects:
+        name = subject.name if isinstance(subject, Subject) else subject
+        if name in names:
+            raise ValueError(f"duplicate subject name {name!r}")
+        names.append(name)
+        if registry is not None:
+            policies.append(registry.get(rules, subject, default))
+        else:
+            policies.append(compile_policy(rules, subject, default))
+    evaluator = MultiSubjectEvaluator(policies, mode=mode, stats=stats)
+    outputs: list[list[Event]] = [[] for _ in names]
+    for event in events:
+        for output, released in zip(outputs, evaluator.feed(event)):
+            output.extend(released)
+    for output, released in zip(outputs, evaluator.finish()):
+        output.extend(released)
+    return dict(zip(names, outputs))
+
+
+def multicast_view_texts(
+    events: Iterable[Event],
+    rules: RuleSet,
+    subjects: Sequence[Subject | str],
+    default: Sign = Sign.DENY,
+    mode: ViewMode = ViewMode.SKELETON,
+    registry: PolicyRegistry | None = None,
+) -> dict[str, str]:
+    """Like :func:`multicast_views`, rendered to XML text per subject.
+
+    The shared rendering used by every multicast consumer (the
+    dissemination preflight, the trusted-filter baselines): one parse
+    pass, ``{subject name: serialized authorized view}``.
+    """
+    views = multicast_views(
+        events, rules, subjects, default=default, mode=mode, registry=registry
+    )
+    return {name: write_string(view) for name, view in views.items()}

@@ -22,6 +22,16 @@ from dataclasses import dataclass, field
 
 from repro.xpathlib.ast import Axis, Comparison, NodeTest, Path, Predicate
 
+#: Running count of :func:`compile_path` invocations (predicate
+#: sub-compilations included).  The compile/evaluate split is asserted
+#: against this: a cached policy must add zero to it.
+_compile_calls = 0
+
+
+def compile_call_count() -> int:
+    """Total ``compile_path`` calls since interpreter start."""
+    return _compile_calls
+
 
 @dataclass(frozen=True, slots=True)
 class CompiledStep:
@@ -81,6 +91,8 @@ def compile_path(path: Path, comparison: Comparison | None = None) -> CompiledPa
     relative predicate paths; the distinction lives in how the runtime
     seeds the initial token.
     """
+    global _compile_calls
+    _compile_calls += 1
     steps: list[CompiledStep] = []
     for step in path.steps:
         predicate_paths: list[CompiledPath] = []

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.core.compiled import CompiledPolicy, PolicyRegistry, compile_policy
 from repro.core.delivery import DeliveryEngine, ViewMode
 from repro.core.evaluator import StreamingEvaluator
+from repro.core.nfa import CompiledPath, compile_path
 from repro.core.rules import RuleSet, Sign, Subject
 from repro.core.runtime import EngineStats
 from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
@@ -29,27 +31,67 @@ class AccessController:
         for event in events:
             output.extend(controller.feed(event))
         output.extend(controller.finish())
+
+    ``rules`` may be a plain :class:`RuleSet` (compiled on the spot, or
+    through ``registry`` when one is given) or a prebuilt
+    :class:`~repro.core.compiled.CompiledPolicy`, in which case
+    construction performs zero compilation -- the hot path for serving
+    many documents or subscribers under one policy.  Likewise ``query``
+    accepts a prebuilt :class:`~repro.core.nfa.CompiledPath`.
+
+    A :class:`CompiledPolicy` carries its subject and default sign;
+    passing a conflicting ``subject`` or ``default`` alongside one is
+    an error (the policy would silently win otherwise).
     """
 
     def __init__(
         self,
-        rules: RuleSet,
+        rules: RuleSet | CompiledPolicy,
         subject: Subject | str | None = None,
-        query: Path | str | None = None,
+        query: Path | str | CompiledPath | None = None,
         mode: ViewMode = ViewMode.SKELETON,
-        default: Sign = Sign.DENY,
+        default: Sign | None = None,
         memory=None,
         stats: EngineStats | None = None,
+        registry: PolicyRegistry | None = None,
     ) -> None:
         self.stats = stats or EngineStats()
-        self._policy = StreamingEvaluator.for_policy(
-            rules, subject, default, memory=memory, stats=self.stats
+        if isinstance(rules, CompiledPolicy):
+            policy = rules  # subject and default are baked in
+            if subject is not None:
+                raise ValueError(
+                    "subject is baked into a CompiledPolicy; "
+                    "compile the policy for the right subject instead"
+                )
+            if default is not None and default is not policy.default:
+                raise ValueError(
+                    f"default {default} conflicts with the compiled "
+                    f"policy's default {policy.default}"
+                )
+        elif registry is not None:
+            policy = registry.get(rules, subject, default if default is not None else Sign.DENY)
+        else:
+            policy = compile_policy(rules, subject, default if default is not None else Sign.DENY)
+        self.compiled_policy = policy
+        self._policy = StreamingEvaluator.from_compiled(
+            policy, memory=memory, stats=self.stats
         )
-        if isinstance(query, str):
-            query = parse_path(query)
+        self.compiled_query: CompiledPath | None = None
+        if query is not None:
+            if isinstance(query, CompiledPath):
+                compiled_query = query
+            elif registry is not None:
+                compiled_query = registry.get_query(query)
+            else:
+                if isinstance(query, str):
+                    query = parse_path(query)
+                compiled_query = compile_path(query)
+            self.compiled_query = compiled_query
         self._query = (
-            StreamingEvaluator.for_query(query, memory=memory, stats=self.stats)
-            if query is not None
+            StreamingEvaluator.for_query(
+                self.compiled_query, memory=memory, stats=self.stats
+            )
+            if self.compiled_query is not None
             else None
         )
         self._delivery = DeliveryEngine(mode, memory=memory)
@@ -147,15 +189,21 @@ class AccessController:
 
 def authorized_view(
     events: Iterable[Event],
-    rules: RuleSet,
+    rules: RuleSet | CompiledPolicy,
     subject: Subject | str | None = None,
     query: Path | str | None = None,
     mode: ViewMode = ViewMode.SKELETON,
-    default: Sign = Sign.DENY,
+    default: Sign | None = None,
+    registry: PolicyRegistry | None = None,
 ) -> list[Event]:
     """Compute the authorized view of a document in one call."""
     controller = AccessController(
-        rules, subject=subject, query=query, mode=mode, default=default
+        rules,
+        subject=subject,
+        query=query,
+        mode=mode,
+        default=default,
+        registry=registry,
     )
     output: list[Event] = []
     for event in events:
@@ -166,15 +214,21 @@ def authorized_view(
 
 def stream_authorized_view(
     events: Iterable[Event],
-    rules: RuleSet,
+    rules: RuleSet | CompiledPolicy,
     subject: Subject | str | None = None,
     query: Path | str | None = None,
     mode: ViewMode = ViewMode.SKELETON,
-    default: Sign = Sign.DENY,
+    default: Sign | None = None,
+    registry: PolicyRegistry | None = None,
 ) -> Iterator[Event]:
     """Like :func:`authorized_view` but yields output incrementally."""
     controller = AccessController(
-        rules, subject=subject, query=query, mode=mode, default=default
+        rules,
+        subject=subject,
+        query=query,
+        mode=mode,
+        default=default,
+        registry=registry,
     )
     for event in events:
         yield from controller.feed(event)

@@ -16,6 +16,7 @@ policies implemented in :mod:`repro.core.decisions`.
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -96,8 +97,14 @@ class RuleSet:
     which is what actually gets compiled into automata.
     """
 
+    #: How many superseded fingerprints a rule set remembers (see
+    #: :meth:`fingerprint_history`).
+    _HISTORY_LIMIT = 16
+
     def __init__(self, rules: Iterable[AccessRule] = ()) -> None:
         self._rules: list[AccessRule] = list(rules)
+        self._past_fingerprints: list[str] = []
+        self._fingerprint: str | None = None
         ids = [rule.rule_id for rule in self._rules]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate rule identifiers in rule set")
@@ -108,16 +115,26 @@ class RuleSet:
     def __len__(self) -> int:
         return len(self._rules)
 
+    def _record_fingerprint(self) -> None:
+        """Remember the pre-mutation fingerprint, drop the memo."""
+        fingerprint = self.fingerprint()
+        if fingerprint not in self._past_fingerprints:
+            self._past_fingerprints.append(fingerprint)
+            del self._past_fingerprints[: -self._HISTORY_LIMIT]
+        self._fingerprint = None
+
     def add(self, rule: AccessRule) -> None:
         """Append a rule (policies are dynamic -- the paper's point)."""
         if any(existing.rule_id == rule.rule_id for existing in self._rules):
             raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        self._record_fingerprint()
         self._rules.append(rule)
 
     def remove(self, rule_id: str) -> AccessRule:
         """Remove and return the rule with the given id."""
         for index, rule in enumerate(self._rules):
             if rule.rule_id == rule_id:
+                self._record_fingerprint()
                 return self._rules.pop(index)
         raise KeyError(rule_id)
 
@@ -126,6 +143,43 @@ class RuleSet:
         if isinstance(subject, str):
             subject = Subject(subject)
         return RuleSet(r for r in self._rules if subject.covers(r.subject))
+
+    def fingerprint(self) -> str:
+        """Content hash of the policy (order-sensitive, id-insensitive).
+
+        Two rule sets with the same ``<sign, subject, object>`` triples
+        in the same order fingerprint identically, whatever their rule
+        ids -- evaluation never looks at ids.  The
+        :class:`~repro.core.compiled.PolicyRegistry` keys its cache on
+        this, so any policy churn (add/remove/change) produces a fresh
+        fingerprint and misses the cache.
+
+        Fields are length-prefixed before hashing: separator characters
+        inside a subject or object string cannot forge a collision with
+        a differently-split policy.  The result is memoized; ``add`` /
+        ``remove`` (the only mutators) drop the memo.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            for rule in self._rules:
+                for part in (str(rule.sign), rule.subject, str(rule.object)):
+                    data = part.encode("utf-8")
+                    digest.update(len(data).to_bytes(4, "big"))
+                    digest.update(data)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def fingerprint_history(self) -> tuple[str, ...]:
+        """Fingerprints this set carried before in-place churn.
+
+        ``add``/``remove`` record the pre-mutation fingerprint (up to
+        the last :data:`_HISTORY_LIMIT` generations), so a
+        :class:`~repro.core.compiled.PolicyRegistry` can evict the
+        superseded generations of a rule set that was mutated in place
+        -- by the time ``invalidate(rules)`` runs, the current
+        fingerprint alone would no longer match them.
+        """
+        return tuple(self._past_fingerprints)
 
     def label_set(self) -> frozenset[str]:
         """Union of all tag names the rules mention (skip-index filter)."""

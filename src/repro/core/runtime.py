@@ -171,6 +171,20 @@ class TokenEngine:
         self._frames[0].tokens.append(Token(path, 0, EMPTY_CONDITIONS, sink))
         self._charge(TOKEN_BYTES)
 
+    def add_policy(self, policy, sinks: "list[MatchSink]") -> None:
+        """Seed every automaton of a prebuilt compiled policy.
+
+        ``policy`` is a :class:`~repro.core.compiled.CompiledPolicy`
+        (duck-typed: anything with an ``automata`` sequence works);
+        ``sinks`` supplies one match sink per automaton.  Nothing is
+        compiled here -- the same policy object may seed any number of
+        engines, including several lanes of one shared engine.
+        """
+        if len(policy.automata) != len(sinks):
+            raise ValueError("one sink per automaton required")
+        for path, sink in zip(policy.automata, sinks):
+            self.add_automaton(path, sink)
+
     # -- event processing ------------------------------------------------
 
     def open(self, tag: str) -> None:
@@ -181,8 +195,12 @@ class TokenEngine:
         self._charge(FRAME_BYTES)
         new_depth = len(self._frames)
         # Dedupe: several parent tokens may advance into an identical
-        # state (same automaton, same index, same guards); one suffices.
-        seen: set[tuple[int, int, frozenset[Condition]]] = set()
+        # state (same automaton, same index, same guards, reporting to
+        # the same sink); one suffices.  The sink is part of the state:
+        # a compiled path shared by several policies (registry hit, or
+        # two lanes of a multi-subject pass) must keep one token per
+        # sink or all but the first subject would go silent.
+        seen: set[tuple[int, int, int, frozenset[Condition]]] = set()
         # Dedupe: one condition per (predicate path, context node).
         conditions_here: dict[int, Condition] = {}
         for token in parent.tokens:
@@ -202,7 +220,7 @@ class TokenEngine:
         token: Token,
         frame: _Frame,
         new_depth: int,
-        seen: set[tuple[int, int, frozenset[Condition]]],
+        seen: set[tuple[int, int, int, frozenset[Condition]]],
         conditions_here: dict[int, Condition],
     ) -> None:
         self.stats.token_advances += 1
@@ -245,7 +263,7 @@ class TokenEngine:
                     _Watcher(comparison, token.sink.on_match, guard_set)
                 )
             return
-        key = (id(token.path), token.index + 1, guard_set)
+        key = (id(token.path), token.index + 1, id(token.sink), guard_set)
         if key in seen:
             return
         seen.add(key)

@@ -15,7 +15,7 @@ time, which is what makes real-time rates reachable (E7).
 
 from repro.dissemination.carousel import BroadcastCarousel, LateJoiningSubscriber
 from repro.dissemination.channel import BroadcastChannel
-from repro.dissemination.publisher import StreamPublisher
+from repro.dissemination.publisher import StreamPublisher, preview_subscriber_views
 from repro.dissemination.subscriber import Subscriber
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "LateJoiningSubscriber",
     "StreamPublisher",
     "Subscriber",
+    "preview_subscriber_views",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.smartcard.apdu import CommandAPDU, Instruction, ResponseAPDU
 from repro.smartcard.applet import PendingStrategy
@@ -44,9 +45,16 @@ class Subscriber:
         link: LinkModel | None = None,
         clock: SimClock | None = None,
         view_mode: ViewMode = ViewMode.SKELETON,
+        registry: PolicyRegistry | None = None,
     ) -> None:
         self.name = name
         self.card = card
+        if registry is not None:
+            # A fleet of simulated subscribers may share one compiled-
+            # policy cache: subscribers on the same tier carry the same
+            # rules, and carousel cycles repeat the same session, so
+            # the automata are compiled once for the whole fleet.
+            card.use_registry(registry)
         self.link = link or LinkModel()
         self.clock = clock or SimClock()
         self.metrics = SessionMetrics()

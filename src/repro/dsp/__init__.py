@@ -10,7 +10,7 @@ adversarial behaviours -- substitution, modification, reordering,
 truncation, version replay -- used by the security tests and E9.
 """
 
-from repro.dsp.server import DSPServer
+from repro.dsp.server import DSPServer, TrustedFilterService
 from repro.dsp.store import DSPStore, StoredDocument
 
-__all__ = ["DSPServer", "DSPStore", "StoredDocument"]
+__all__ = ["DSPServer", "DSPStore", "StoredDocument", "TrustedFilterService"]

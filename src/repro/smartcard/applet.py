@@ -32,10 +32,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.core.compiled import AUTOMATON_STATE_BYTES, PolicyRegistry
 from repro.core.decisions import DecisionNode
 from repro.core.pipeline import AccessController
 from repro.core.delivery import ViewMode, _Record
-from repro.core.rules import AccessRule, RuleSet, Sign
+from repro.core.rules import AccessRule, RuleSet, Sign, Subject
 from repro.crypto.container import (
     DocumentHeader,
     IntegrityError,
@@ -53,8 +54,6 @@ from repro.smartcard.soe import SecureOperatingEnvironment
 from repro.xmlstream.events import Event
 from repro.xmlstream.writer import write_string
 
-#: Modeled RAM cost of one compiled automaton state (compact C layout).
-AUTOMATON_STATE_BYTES = 4
 #: Modeled RAM cost of the streaming decoder state per open level.
 DECODER_FRAME_BYTES = 8
 
@@ -102,11 +101,25 @@ class CardApplet:
         soe: SecureOperatingEnvironment,
         strategy: PendingStrategy = PendingStrategy.BUFFER,
         view_mode: ViewMode = ViewMode.SKELETON,
+        registry: PolicyRegistry | None = None,
     ) -> None:
         self.soe = soe
         self.default_strategy = strategy
         self.view_mode = view_mode
+        # The compiled-automata store: rules are compiled once when
+        # first seen (the paper compiles on rule upload) and reused by
+        # every later session with the same policy.  It survives
+        # session resets, like the automata stored in EEPROM would.
+        self.registry = registry if registry is not None else PolicyRegistry()
         self._reset_session()
+
+    def use_registry(self, registry: PolicyRegistry) -> None:
+        """Swap in a shared compiled-policy cache.
+
+        Takes effect on the next session's policy compilation; the
+        current session's controller (if any) keeps its automata.
+        """
+        self.registry = registry
 
     def _reset_session(self) -> None:
         self._subject: str | None = None
@@ -201,29 +214,26 @@ class CardApplet:
     def _ensure_controller(self) -> AccessController:
         if self._controller is None:
             assert self._subject is not None
-            from repro.core.rules import Subject
-
             subject_rules = self._rules.for_subject(
                 Subject(self._subject, self._groups)
             )
+            policy = self.registry.get(subject_rules)
+            compiled_query = (
+                self.registry.get_query(self._query)
+                if self._query is not None
+                else None
+            )
             self._controller = AccessController(
-                subject_rules,
-                subject=None,
-                query=self._query,
+                policy,
+                query=compiled_query,
                 mode=self.view_mode,
                 memory=self.soe.memory,
             )
-            # Charge the compiled automata to secure RAM.
-            from repro.core.nfa import compile_path
-
-            states = sum(
-                compile_path(rule.object).state_count()
-                for rule in subject_rules
-            )
-            if self._query is not None:
-                from repro.xpathlib.parser import parse_path
-
-                states += compile_path(parse_path(self._query)).state_count()
+            # Charge the compiled automata to secure RAM -- straight
+            # from the compiled artifact, no recompilation.
+            states = policy.state_count
+            if compiled_query is not None:
+                states += compiled_query.state_count()
             self._automata_ram = states * AUTOMATON_STATE_BYTES
             self.soe.memory.allocate("automata", self._automata_ram)
             self._decoder = SXSDecoder()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.crypto.container import DocumentHeader, IntegrityError
 from repro.smartcard.apdu import (
@@ -92,14 +93,21 @@ class SmartCard:
         strategy: PendingStrategy = PendingStrategy.BUFFER,
         view_mode: ViewMode = ViewMode.SKELETON,
         admin_key: bytes | None = None,
+        registry: PolicyRegistry | None = None,
     ) -> None:
         self.soe = soe or SecureOperatingEnvironment()
-        self.applet = CardApplet(self.soe, strategy=strategy, view_mode=view_mode)
+        self.applet = CardApplet(
+            self.soe, strategy=strategy, view_mode=view_mode, registry=registry
+        )
         self._selected = False
         self._refetch_entries: list = []
         self._secure_channel = (
             CardSecureChannel(admin_key) if admin_key is not None else None
         )
+
+    def use_registry(self, registry: PolicyRegistry) -> None:
+        """Point the applet at a shared compiled-policy cache."""
+        self.applet.use_registry(registry)
 
     # -- dispatch ------------------------------------------------------------
 

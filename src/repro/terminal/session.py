@@ -9,6 +9,7 @@ entire pull sessions through the card.
 
 from __future__ import annotations
 
+from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.crypto.pki import SimulatedPKI
 from repro.dsp.server import DSPServer
@@ -32,6 +33,7 @@ class Terminal:
         link: LinkModel | None = None,
         ram_quota: int | None = 1024,
         strict_memory: bool = True,
+        registry: PolicyRegistry | None = None,
     ) -> None:
         self.user = user
         self.dsp = dsp
@@ -43,7 +45,11 @@ class Terminal:
                 strict_memory=strict_memory,
                 clock=self.clock,
             )
-            card = SmartCard(soe)
+            card = SmartCard(soe, registry=registry)
+        elif registry is not None:
+            # Repeated sessions on an existing card share the given
+            # compiled-policy cache instead of the card's private one.
+            card.use_registry(registry)
         self.card = card
         self.proxy = CardProxy(card, dsp, link=link, clock=self.clock)
         self._unlocked: set[str] = set()
