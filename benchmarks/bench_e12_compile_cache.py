@@ -21,7 +21,7 @@ import time
 
 from _common import emit
 
-from repro.core.compiled import PolicyRegistry, compile_policy
+from repro.core.compiled import PolicyRegistry
 from repro.core.multicast import multicast_views
 from repro.core.nfa import compile_call_count
 from repro.core.pipeline import AccessController, authorized_view

@@ -1,0 +1,125 @@
+"""E13 -- batched transport: round trips vs window/batch size.
+
+Sweep the :class:`~repro.terminal.transfer.TransferPolicy` over the E1
+hospital corpus (both subject profiles, 64-byte chunks) and read the
+transport costs: DSP round trips, APDU exchanges, and the speculation
+waste a skip directive causes when it lands mid-window.  The authorized
+view must be byte-identical at every point -- the policy moves bytes
+around, never changes them.
+
+The headline numbers (acceptance criteria of the transport refactor)
+are the aggregate rows: at window/batch 8 the corpus needs >=4x fewer
+DSP requests and >=2x fewer APDU round trips than the sequential path.
+
+Expected shape: DSP requests fall roughly linearly in the window until
+skip jumps dominate; APDU counts fall through batch framing plus output
+piggybacking, but *rise* again for skip-heavy subjects at large batches
+because speculative chunks already in flight are wasted link time.
+"""
+
+from _common import emit
+
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.terminal.transfer import TransferPolicy
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+WINDOWS = [1, 2, 4, 8]
+CHUNK = 64  # the E1 corpus chunking
+SUBJECTS = ("accountant", "doctor")
+
+HEADERS = [
+    "window/batch", "subject", "dsp req", "dsp x", "apdu", "apdu x",
+    "chunks wasted", "bytes wasted", "time (s)", "identical",
+]
+
+
+def _measure(events, subject, size):
+    return run_pull_session(
+        PullSetup(
+            events=events,
+            rules=hospital_rules(),
+            subject=subject,
+            chunk_size=CHUNK,
+            transfer=TransferPolicy.windowed(size),
+        )
+    )
+
+
+def run_experiment(patients: int = 10, windows=tuple(WINDOWS)):
+    events = list(tree_to_events(hospital(n_patients=patients)))
+    baselines = {
+        subject: _measure(events, subject, 1) for subject in SUBJECTS
+    }
+    rows = []
+    for size in windows:
+        total = {"dsp": 0, "apdu": 0, "seq_dsp": 0, "seq_apdu": 0}
+        identical_all = True
+        for subject in SUBJECTS:
+            seq = baselines[subject]
+            outcome = (
+                seq if size == 1 else _measure(events, subject, size)
+            )
+            identical = outcome.xml == seq.xml
+            identical_all &= identical
+            metrics = outcome.metrics
+            total["dsp"] += metrics.dsp_requests
+            total["apdu"] += metrics.apdu_count
+            total["seq_dsp"] += seq.metrics.dsp_requests
+            total["seq_apdu"] += seq.metrics.apdu_count
+            rows.append([
+                f"{size}/{size}",
+                subject,
+                metrics.dsp_requests,
+                seq.metrics.dsp_requests / metrics.dsp_requests,
+                metrics.apdu_count,
+                seq.metrics.apdu_count / metrics.apdu_count,
+                metrics.chunks_wasted,
+                metrics.bytes_wasted,
+                metrics.clock.total(),
+                "yes" if identical else "NO",
+            ])
+        rows.append([
+            f"{size}/{size}",
+            "corpus",
+            total["dsp"],
+            total["seq_dsp"] / total["dsp"],
+            total["apdu"],
+            total["seq_apdu"] / total["apdu"],
+            "",
+            "",
+            "",
+            "yes" if identical_all else "NO",
+        ])
+    return (
+        "E13: transport round trips vs transfer window/batch (E1 corpus)",
+        HEADERS,
+        rows,
+    )
+
+
+def test_e13_transport(benchmark):
+    events = list(tree_to_events(hospital(n_patients=10)))
+    benchmark.pedantic(
+        lambda: _measure(events, "doctor", 8),
+        rounds=3,
+        iterations=1,
+    )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: a small corpus and only the sweep endpoints",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        emit(*run_experiment(patients=4, windows=(1, 8)))
+    else:
+        emit(*run_experiment())

@@ -7,7 +7,7 @@ crossover ("its decryption and transmission overhead must not exceed
 its own benefit") when everything is authorized.
 """
 
-from _common import emit, standard_pull
+from _common import emit
 
 from repro.bench.harness import PullSetup, run_pull_session
 from repro.skipindex.encoder import IndexMode

@@ -9,7 +9,6 @@ anchor.
 
 from _common import emit
 
-from repro.bench.harness import PullSetup, run_pull_session
 from repro.core.pipeline import AccessController
 from repro.core.runtime import EngineStats
 from repro.smartcard.resources import CostModel

@@ -1,18 +1,22 @@
-"""Regenerate every experiment table (E1..E12) in one run.
+"""Regenerate every experiment table (E1..E13) in one run.
 
 Usage::
 
     python benchmarks/run_experiments.py            # the full battery
     python benchmarks/run_experiments.py --quick    # CI smoke subset
     python benchmarks/run_experiments.py --only e12 # one experiment
+    python benchmarks/run_experiments.py --only e13 --json BENCH_E13.json
 
-The output is the source of the measured numbers in EXPERIMENTS.md.
+The output is the source of the measured numbers in EXPERIMENTS.md;
+``--json PATH`` additionally writes the tables as machine-readable
+``BENCH_*.json`` so the perf trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import pathlib
 import sys
 import time
@@ -66,17 +70,41 @@ def main() -> None:
         default=None,
         help="run a single experiment, e.g. --only e12",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write every table as machine-readable JSON "
+        "(e.g. BENCH_RESULTS.json), for tracking across PRs",
+    )
     args = parser.parse_args()
 
+    results: dict[str, dict] = {}
     total_start = time.time()
     for path in _select(args.quick, args.only):
         module = _load(path)
         start = time.time()
         title, headers, rows = module.run_experiment()
+        elapsed = time.time() - start
         print()
         print_table(title, headers, rows)
-        print(f"[{path.name} in {time.time() - start:.1f} s]")
+        print(f"[{path.name} in {elapsed:.1f} s]")
+        results[path.stem] = {
+            "title": title,
+            "headers": list(headers),
+            "rows": [list(row) for row in rows],
+            "wall_seconds": round(elapsed, 3),
+        }
     print(f"\nall experiments in {time.time() - total_start:.1f} s")
+    if args.json is not None:
+        payload = {
+            "suite": "repro-smartcard-sdds",
+            "experiments": results,
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from repro.dsp.server import DSPServer
 from repro.dsp.store import DSPStore
 from repro.terminal.api import Publisher
 from repro.terminal.session import Terminal
+from repro.terminal.transfer import TransferPolicy
 from repro.xmlstream.parser import parse_string
 from repro.xmlstream.writer import write_string
 
@@ -85,6 +86,16 @@ def part_two_full_architecture() -> None:
     result, __ = terminal.query("records", query="//diagnosis", owner="owner")
     print("doctor's query //diagnosis:")
     print(" ", result.xml)
+
+    # Round-trip-bound link?  A TransferPolicy batches the transport:
+    # chunks are prefetched from the DSP in ranged requests and ride
+    # the card link in multi-chunk PUT_CHUNK_BATCH APDUs.  The view is
+    # byte-identical; only the round-trip counts move (benchmark E13).
+    batched = Terminal("doctor", dsp, pki, transfer=TransferPolicy.windowed(8))
+    __, metrics = batched.query("records", owner="owner")
+    print(f"\nwindow/batch 8: {metrics.dsp_requests} DSP round trips, "
+          f"{metrics.apdu_count} APDUs, {metrics.bytes_wasted} B wasted "
+          "speculation")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ and machines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.compiled import PolicyRegistry
@@ -22,6 +22,7 @@ from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.resources import SessionMetrics
 from repro.terminal.api import Publisher
 from repro.terminal.session import Terminal
+from repro.terminal.transfer import TransferPolicy
 from repro.xmlstream.events import Event
 
 
@@ -44,6 +45,9 @@ class PullSetup:
     #: Optional compiled-policy cache shared across sessions; sweeps
     #: that re-run the same policy point pay compilation only once.
     registry: PolicyRegistry | None = None
+    #: Chunk transport plan (prefetch window / APDU batch); ``None``
+    #: is the sequential window=1, batch=1 path.
+    transfer: TransferPolicy | None = None
 
 
 @dataclass(slots=True)
@@ -80,6 +84,7 @@ def run_pull_session(setup: PullSetup) -> PullOutcome:
         ram_quota=setup.ram_quota,
         strict_memory=setup.strict_memory,
         registry=setup.registry,
+        transfer=setup.transfer,
     )
     result, metrics = terminal.query(
         setup.doc_id,

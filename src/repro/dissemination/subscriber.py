@@ -17,10 +17,15 @@ from dataclasses import dataclass, field
 
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
-from repro.smartcard.apdu import CommandAPDU, Instruction, ResponseAPDU
-from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.apdu import (
+    CommandAPDU,
+    Instruction,
+    ResponseAPDU,
+    transmit_chunk_batch,
+)
 from repro.smartcard.card import SmartCard, decode_header
 from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
+from repro.terminal.transfer import TransferPolicy
 
 
 @dataclass(slots=True)
@@ -46,6 +51,7 @@ class Subscriber:
         clock: SimClock | None = None,
         view_mode: ViewMode = ViewMode.SKELETON,
         registry: PolicyRegistry | None = None,
+        transfer: TransferPolicy | None = None,
     ) -> None:
         self.name = name
         self.card = card
@@ -62,9 +68,14 @@ class Subscriber:
         self._rules_version = rules_version
         self._rule_records = rule_records
         self._view_mode = view_mode
+        #: There is no DSP in push mode, so only the APDU half of the
+        #: policy applies: up to ``apdu_batch`` broadcast chunks ride
+        #: one PUT_CHUNK_BATCH exchange (one resume offset, one drain).
+        self.transfer = transfer or TransferPolicy()
         self.state = SubscriberState()
         self._chunk_size = 0
         self._ended = False
+        self._pending_batch: list[tuple[int, bytes]] = []
 
     # -- card link ------------------------------------------------------------
 
@@ -144,28 +155,65 @@ class Subscriber:
         chunk_end = (index + 1) * self._chunk_size
         if chunk_end <= self.state.next_needed_offset:
             # The card already skipped past this chunk: drop it at the
-            # terminal, before the card link.
+            # terminal, before the card link.  (With batching the resume
+            # offset is only as fresh as the last flush; frames it could
+            # not rule out are dropped undecrypted on the card instead.)
             self.metrics.chunks_skipped += 1
             return
-        self.metrics.chunks_sent += 1
-        response = self._transmit(
-            CommandAPDU(
-                Instruction.PUT_CHUNK,
-                p1=index >> 8,
-                p2=index & 0xFF,
-                data=payload,
+        if self.transfer.apdu_batch == 1:
+            self.metrics.chunks_sent += 1
+            response = self._transmit(
+                CommandAPDU(
+                    Instruction.PUT_CHUNK,
+                    p1=index >> 8,
+                    p2=index & 0xFF,
+                    data=payload,
+                )
             )
+            if not response.ok:
+                return self._fail(f"chunk {index}", response)
+            next_offset, done = struct.unpack(">QB", response.data[:9])
+            self.state.next_needed_offset = next_offset
+            self._drain(response)
+            if done:
+                self.state.document_done = True
+            return
+        self._pending_batch.append((index, payload))
+        if len(self._pending_batch) >= self.transfer.apdu_batch:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        """Push the accumulated frames through one batch exchange."""
+        if not self._pending_batch or self.state.failed:
+            self._pending_batch.clear()
+            return
+        batch = self._pending_batch
+        self._pending_batch = []
+        first, last = batch[0][0], batch[-1][0]
+        outcome = transmit_chunk_batch(
+            self._transmit, batch, self.link.max_command_payload
         )
-        if not response.ok:
-            return self._fail(f"chunk {index}", response)
-        next_offset, done = struct.unpack(">QB", response.data[:9])
-        self.state.next_needed_offset = next_offset
-        self._drain(response)
-        if done:
+        if not outcome.completed:
+            return self._fail(
+                f"chunk batch {first}..{last}", outcome.response
+            )
+        self.metrics.chunks_sent += len(batch) - outcome.dropped
+        self.metrics.chunks_wasted += outcome.dropped
+        self.metrics.bytes_wasted += outcome.dropped_bytes
+        self.state.next_needed_offset = outcome.next_offset
+        self.state.output.extend(outcome.piggyback)
+        self.metrics.output_bytes += len(outcome.piggyback)
+        self._drain(outcome.response)
+        if outcome.done:
             self.state.document_done = True
 
     def _on_end(self) -> None:
         if self.state.failed:
+            return
+        self._flush_batch()
+        if self.state.failed:
+            # Keep the flush's specific card-error diagnostic rather
+            # than misreporting it as a truncated broadcast.
             return
         if not self.state.document_done:
             self.state.failed = "stream ended before document completed"

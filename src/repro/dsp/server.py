@@ -10,6 +10,7 @@ from repro.core.multicast import multicast_view_texts
 from repro.core.rules import RuleSet, Sign, Subject
 from repro.crypto.container import DocumentHeader
 from repro.dsp.store import DSPStore
+from repro.smartcard.card import encode_header
 from repro.smartcard.resources import NetworkModel, SimClock
 from repro.xmlstream.events import Event
 
@@ -19,7 +20,11 @@ class DSPServer:
 
     Every response is charged to the shared clock's ``network``
     component and counted in ``bytes_served`` -- benchmark E2 reads the
-    transfer saving of the skip index from here.
+    transfer saving of the skip index from here.  The per-request
+    overhead is charged once per *request*, so the ranged chunk API
+    (:meth:`get_chunk_range`) amortizes it across a whole window;
+    ``requests``/``served_ranges`` let benchmarks read round-trip
+    counts directly (E13).
     """
 
     def __init__(
@@ -33,6 +38,10 @@ class DSPServer:
         self.clock = clock or SimClock()
         self.bytes_served = 0
         self.requests = 0
+        self.chunks_served = 0
+        #: Every chunk request as ``(doc_id, start, count)`` -- single
+        #: chunk fetches appear as ranges of count 1.
+        self.served_ranges: list[tuple[str, int, int]] = []
 
     def _charge(self, nbytes: int) -> None:
         self.bytes_served += nbytes
@@ -44,13 +53,36 @@ class DSPServer:
 
     def get_header(self, doc_id: str) -> DocumentHeader:
         header = self.store.get(doc_id).container.header
-        self._charge(64)  # serialized header is small and near-constant
+        self._charge(len(encode_header(header)))
         return header
 
     def get_chunk(self, doc_id: str, index: int) -> bytes:
         blob = self.store.get(doc_id).container.chunks[index]
         self._charge(len(blob))
+        self.chunks_served += 1
+        self.served_ranges.append((doc_id, index, 1))
         return blob
+
+    def get_chunk_range(
+        self, doc_id: str, start: int, count: int
+    ) -> list[bytes]:
+        """Serve ``count`` consecutive chunks as ONE request.
+
+        The request overhead is charged once for the whole range --
+        that is the DSP half of the E13 batching win.  The range is
+        clipped to the document, so callers may over-ask near the end;
+        asking entirely past the last chunk is still an error.
+        """
+        if count < 1:
+            raise ValueError("chunk range must cover at least one chunk")
+        chunks = self.store.get(doc_id).container.chunks
+        if not 0 <= start < len(chunks):
+            raise IndexError(f"chunk range starts out of bounds: {start}")
+        blobs = list(chunks[start:start + count])
+        self._charge(sum(len(blob) for blob in blobs))
+        self.chunks_served += len(blobs)
+        self.served_ranges.append((doc_id, start, len(blobs)))
+        return blobs
 
     def get_rules(self, doc_id: str) -> tuple[int, list[bytes]]:
         stored = self.store.get(doc_id)

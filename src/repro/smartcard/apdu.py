@@ -12,7 +12,9 @@ how the paper's 2 KB/s bottleneck shows up in the benchmarks.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 class Instruction(enum.IntEnum):
@@ -24,6 +26,7 @@ class Instruction(enum.IntEnum):
     PUT_RULES = 0x14
     PUT_QUERY = 0x16
     PUT_CHUNK = 0x20
+    PUT_CHUNK_BATCH = 0x22
     END_DOCUMENT = 0x30
     GET_OUTPUT = 0x40
     BEGIN_REFETCH = 0x50
@@ -106,3 +109,138 @@ def split_payload(data: bytes, limit: int = 255) -> list[bytes]:
     if not data:
         return [b""]
     return [data[i:i + limit] for i in range(0, len(data), limit)]
+
+
+# -- chunk-batch framing -----------------------------------------------------
+#
+# PUT_CHUNK_BATCH carries several chunks in one logical exchange.  The
+# batch payload is a sequence of records ``index:u16 length:u16 blob``,
+# cut into short-form frames with :func:`split_payload`; every frame is
+# sent with P1=0 except the last, which sets :data:`BATCH_FINAL` and
+# triggers processing of whatever the card has assembled.
+
+#: P1 flag marking the last frame of a PUT_CHUNK_BATCH sequence.
+BATCH_FINAL = 0x01
+
+#: Layout of the batch-final response summary (before the piggybacked
+#: output slice): next_offset, done, consumed, dropped, dropped_bytes.
+BATCH_SUMMARY = ">QBHHI"
+
+#: Bytes of framing per batch record (index:u16 + length:u16).
+BATCH_RECORD_OVERHEAD = 4
+
+
+def encode_batch_records(members: "list[tuple[int, bytes]]") -> bytes:
+    """Serialize ``(chunk_index, blob)`` pairs into one batch payload."""
+    out = bytearray()
+    for index, blob in members:
+        if not 0 <= index <= 0xFFFF:
+            raise ValueError("chunk index out of u16 range")
+        if len(blob) > 0xFFFF:
+            raise ValueError("chunk blob too large for batch record")
+        out += index.to_bytes(2, "big")
+        out += len(blob).to_bytes(2, "big")
+        out += blob
+    return bytes(out)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOutcome:
+    """Parsed result of one PUT_CHUNK_BATCH exchange.
+
+    ``completed`` is False when a frame came back with an error status
+    (``response`` then holds the failing frame's response and the
+    summary fields are zero).
+    """
+
+    response: ResponseAPDU
+    completed: bool = False
+    next_offset: int = 0
+    done: bool = False
+    consumed: int = 0
+    dropped: int = 0
+    dropped_bytes: int = 0
+    piggyback: bytes = b""
+
+
+def transmit_chunk_batch(
+    send: Callable[[CommandAPDU], ResponseAPDU],
+    members: list[tuple[int, bytes]],
+    limit: int = 255,
+) -> BatchOutcome:
+    """Drive one full batch exchange through ``send``.
+
+    The terminal half of the PUT_CHUNK_BATCH protocol, shared by the
+    pull proxy and the push subscriber: encode the records, cut them
+    into frames, flag the last frame BATCH_FINAL, and parse the final
+    response -- ``next_offset:u64 done:u8 consumed:u16 dropped:u16
+    dropped_bytes:u32`` followed by the piggybacked output slice.
+    Stops at the first frame the card refuses.
+    """
+    payload = encode_batch_records(members)
+    frames = split_payload(payload, limit)
+    response = ResponseAPDU(StatusWord.OK)
+    for position, frame in enumerate(frames):
+        final = position == len(frames) - 1
+        response = send(
+            CommandAPDU(
+                Instruction.PUT_CHUNK_BATCH,
+                p1=BATCH_FINAL if final else 0,
+                data=frame,
+            )
+        )
+        if not response.ok:
+            return BatchOutcome(response=response)
+    summary_size = struct.calcsize(BATCH_SUMMARY)
+    next_offset, done, consumed, dropped, dropped_bytes = struct.unpack(
+        BATCH_SUMMARY, response.data[:summary_size]
+    )
+    return BatchOutcome(
+        response=response,
+        completed=True,
+        next_offset=next_offset,
+        done=bool(done),
+        consumed=consumed,
+        dropped=dropped,
+        dropped_bytes=dropped_bytes,
+        piggyback=response.data[summary_size:],
+    )
+
+
+class BatchAssembler:
+    """Card-side incremental parser for PUT_CHUNK_BATCH frames.
+
+    Frames may split a record anywhere; the assembler buffers only the
+    unfinished tail (at most one record header plus one chunk blob, a
+    transient I/O staging area like the card's APDU buffer -- it is
+    deliberately *not* charged against the secure RAM quota).  Complete
+    records are handed back as soon as their last byte arrives, so the
+    applet processes the batch in streaming order.
+    """
+
+    def __init__(self) -> None:
+        self._staging = bytearray()
+
+    def feed(self, frame: bytes) -> list[tuple[int, bytes]]:
+        """Absorb one frame; return the records it completed."""
+        self._staging += frame
+        records: list[tuple[int, bytes]] = []
+        while len(self._staging) >= BATCH_RECORD_OVERHEAD:
+            index = int.from_bytes(self._staging[0:2], "big")
+            length = int.from_bytes(self._staging[2:4], "big")
+            end = BATCH_RECORD_OVERHEAD + length
+            if len(self._staging) < end:
+                break
+            records.append(
+                (index, bytes(self._staging[BATCH_RECORD_OVERHEAD:end]))
+            )
+            del self._staging[:end]
+        return records
+
+    @property
+    def residue(self) -> int:
+        """Bytes of an unfinished record still staged."""
+        return len(self._staging)
+
+    def reset(self) -> None:
+        self._staging.clear()

@@ -47,7 +47,6 @@ from repro.crypto.keys import DocumentKeys
 from repro.skipindex.decoder import (
     DecodedClose,
     DecodedOpen,
-    DecodedText,
     SXSDecoder,
 )
 from repro.smartcard.soe import SecureOperatingEnvironment
@@ -91,6 +90,26 @@ class ChunkResult:
     next_offset: int  # next plaintext byte the card needs
     document_done: bool
     output_available: int  # bytes currently in the output buffer
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """What the applet tells the proxy after one chunk *batch*.
+
+    One resume offset and one output drain cover the whole batch;
+    ``chunks_dropped``/``bytes_dropped`` report the speculative members
+    a mid-batch skip directive made useless -- they were on the wire
+    already, but the applet discards them before MAC and decryption, so
+    the byte-level metrics (``bytes_decrypted``, ``bytes_skipped``)
+    stay identical to the sequential path.
+    """
+
+    next_offset: int
+    document_done: bool
+    output_available: int
+    chunks_consumed: int
+    chunks_dropped: int
+    bytes_dropped: int
 
 
 class CardApplet:
@@ -140,6 +159,10 @@ class CardApplet:
         self._automata_ram = 0
         self._decoder_ram = 0
         self._decoder_charged = 0
+        # chunk-batch bookkeeping (PUT_CHUNK_BATCH)
+        self._batch_consumed = 0
+        self._batch_dropped = 0
+        self._batch_dropped_bytes = 0
         # metrics
         self.bytes_decrypted = 0
         self.bytes_skipped = 0
@@ -258,6 +281,51 @@ class CardApplet:
             next_offset=self._decoder.next_needed_offset,
             document_done=self._decoder.document_done,
             output_available=len(self._output),
+        )
+
+    # -- chunk batches (PUT_CHUNK_BATCH) ---------------------------------
+
+    def begin_chunk_batch(self) -> None:
+        """Open a batch: members follow, one result closes it."""
+        if self._header is None:
+            raise AppletError("header must be verified before chunks")
+        self._batch_consumed = 0
+        self._batch_dropped = 0
+        self._batch_dropped_bytes = 0
+
+    def put_batch_member(self, index: int, blob: bytes) -> None:
+        """Process one batch member, or drop it if a skip outran it.
+
+        A member whose plaintext range lies entirely before the
+        decoder's next needed offset (a skip directive raised by an
+        earlier member of the same batch) is discarded *before* MAC
+        verification and decryption: the sequential path would never
+        have transmitted it, so neither accounting path may charge it.
+        """
+        if self._header is None:
+            raise AppletError("header must be verified before chunks")
+        if self._decoder is not None:
+            chunk_end = (index + 1) * self._header.chunk_size
+            if self._decoder.document_done or (
+                chunk_end <= self._decoder.next_needed_offset
+            ):
+                self._batch_dropped += 1
+                self._batch_dropped_bytes += len(blob)
+                return
+        self.put_chunk(index, blob)
+        self._batch_consumed += 1
+
+    def end_chunk_batch(self) -> BatchResult:
+        """Close the batch; one resume offset for all its members."""
+        if self._decoder is None:
+            raise AppletError("empty chunk batch")
+        return BatchResult(
+            next_offset=self._decoder.next_needed_offset,
+            document_done=self._decoder.document_done,
+            output_available=len(self._output),
+            chunks_consumed=self._batch_consumed,
+            chunks_dropped=self._batch_dropped,
+            bytes_dropped=self._batch_dropped_bytes,
         )
 
     def _charge_engine_work(self, controller: AccessController) -> None:

@@ -15,6 +15,9 @@ from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.crypto.container import DocumentHeader, IntegrityError
 from repro.smartcard.apdu import (
+    BATCH_FINAL,
+    BATCH_SUMMARY,
+    BatchAssembler,
     CommandAPDU,
     Instruction,
     ResponseAPDU,
@@ -101,6 +104,8 @@ class SmartCard:
         )
         self._selected = False
         self._refetch_entries: list = []
+        self._batch = BatchAssembler()
+        self._batch_open = False
         self._secure_channel = (
             CardSecureChannel(admin_key) if admin_key is not None else None
         )
@@ -116,15 +121,25 @@ class SmartCard:
         try:
             return self._dispatch(command)
         except IntegrityError:
+            self._abort_batch()
             return ResponseAPDU(StatusWord.SECURITY_STATUS_NOT_SATISFIED)
         except CardMemoryError:
+            self._abort_batch()
             return ResponseAPDU(StatusWord.MEMORY_FAILURE)
         except AppletError:
+            self._abort_batch()
             return ResponseAPDU(StatusWord.CONDITIONS_NOT_SATISFIED)
         except SecureChannelError:
+            self._abort_batch()
             return ResponseAPDU(StatusWord.SECURITY_STATUS_NOT_SATISFIED)
         except (ValueError, KeyError, IndexError, struct.error):
+            self._abort_batch()
             return ResponseAPDU(StatusWord.WRONG_DATA)
+
+    def _abort_batch(self) -> None:
+        """Drop a half-assembled chunk batch after any failure."""
+        self._batch.reset()
+        self._batch_open = False
 
     def _dispatch(self, command: CommandAPDU) -> ResponseAPDU:
         ins = command.ins
@@ -138,6 +153,7 @@ class SmartCard:
             Instruction.PUT_HEADER: self._put_header,
             Instruction.PUT_RULES: self._put_rule,
             Instruction.PUT_CHUNK: self._put_chunk,
+            Instruction.PUT_CHUNK_BATCH: self._put_chunk_batch,
             Instruction.END_DOCUMENT: self._end_document,
             Instruction.GET_OUTPUT: self._get_output,
             Instruction.BEGIN_REFETCH: self._begin_refetch,
@@ -154,6 +170,7 @@ class SmartCard:
     # -- handlers ---------------------------------------------------------------
 
     def _begin_session(self, command: CommandAPDU) -> ResponseAPDU:
+        self._abort_batch()
         data = command.data
         flags = data[0]
         offset = 1
@@ -217,6 +234,48 @@ class SmartCard:
     def _put_chunk(self, command: CommandAPDU) -> ResponseAPDU:
         index = (command.p1 << 8) | command.p2
         return self._chunk_response(self.applet.put_chunk(index, command.data))
+
+    def _put_chunk_batch(self, command: CommandAPDU) -> ResponseAPDU:
+        """One frame of a multi-chunk batch (P1 bit 0 marks the last).
+
+        Records completed by this frame are processed immediately, so
+        the staging area never holds more than an unfinished record --
+        the secure-RAM accounting is exactly the sequential path's.
+        Only the final frame answers with the batch summary
+        ``next_offset:u64 done:u8 consumed:u16 dropped:u16
+        dropped_bytes:u32``; intermediate frames return a bare OK.  The
+        response APDU's remaining capacity piggybacks the first slice
+        of authorized output, sparing one GET_OUTPUT round trip per
+        batch; MORE_OUTPUT signals whatever did not fit.
+        """
+        if not self._batch_open:
+            self.applet.begin_chunk_batch()
+            self._batch.reset()
+            self._batch_open = True
+        for index, blob in self._batch.feed(command.data):
+            self.applet.put_batch_member(index, blob)
+        if not command.p1 & BATCH_FINAL:
+            return ResponseAPDU(StatusWord.OK)
+        if self._batch.residue:
+            self._abort_batch()
+            return ResponseAPDU(StatusWord.WRONG_DATA)
+        self._batch_open = False
+        result = self.applet.end_chunk_batch()
+        payload = struct.pack(
+            BATCH_SUMMARY,
+            result.next_offset,
+            int(result.document_done),
+            result.chunks_consumed,
+            result.chunks_dropped,
+            result.bytes_dropped,
+        )
+        payload += self.applet.read_output(256 - len(payload))
+        sw = (
+            StatusWord.MORE_OUTPUT
+            if self.applet.output_pending
+            else StatusWord.OK
+        )
+        return ResponseAPDU(sw, payload)
 
     def _end_document(self, command: CommandAPDU) -> ResponseAPDU:
         page = command.p1

@@ -117,6 +117,14 @@ class SessionMetrics:
     bytes_skipped: int = 0
     chunks_sent: int = 0
     chunks_skipped: int = 0
+    #: Speculation cost of a prefetch window: chunks fetched from the
+    #: DSP that a skip directive then made useless (discarded at the
+    #: proxy or dropped undecrypted on the card), and their ciphertext
+    #: bytes.  Sequential transfers always report zero.
+    chunks_wasted: int = 0
+    bytes_wasted: int = 0
+    #: DSP round trips issued by the proxy during the session.
+    dsp_requests: int = 0
     apdu_count: int = 0
     output_bytes: int = 0
     refetch_count: int = 0

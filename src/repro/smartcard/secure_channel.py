@@ -31,7 +31,6 @@ import hashlib
 import hmac
 import os
 
-from repro.crypto.keys import derive_key
 
 CHALLENGE_SIZE = 8
 FRAME_MAC_SIZE = 8

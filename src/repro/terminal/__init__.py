@@ -9,11 +9,14 @@ protocols (JDBC, APDU)" (Section 3).
 from repro.terminal.api import AuthorizedResult, Publisher
 from repro.terminal.proxy import CardProxy, ProxyError
 from repro.terminal.session import Terminal
+from repro.terminal.transfer import SEQUENTIAL, TransferPolicy
 
 __all__ = [
     "AuthorizedResult",
     "CardProxy",
     "ProxyError",
     "Publisher",
+    "SEQUENTIAL",
     "Terminal",
+    "TransferPolicy",
 ]

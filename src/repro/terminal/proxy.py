@@ -7,6 +7,19 @@ is where the bandwidth saving of the skip index materializes), draining
 the card's authorized output, and replaying byte ranges for granted
 refetches.  It never sees a decryption key: everything through here is
 ciphertext or already-authorized output.
+
+Chunk movement is planned by a
+:class:`~repro.terminal.transfer.TransferPolicy`: the proxy keeps a
+speculative prefetch window of ``window`` chunks ahead of the card's
+cursor (one ranged DSP request per window refill) and packs up to
+``apdu_batch`` chunks into one ``PUT_CHUNK_BATCH`` exchange, so the
+card answers with one resume offset and one output drain per batch.
+Speculation interacts with the skip index: when a skip directive lands
+mid-window, prefetched chunks past the resume offset are discarded
+before the card link and charged to ``SessionMetrics.bytes_wasted``
+(chunks already inside the in-flight batch are dropped undecrypted on
+the card and charged the same way).  ``window=1, apdu_batch=1`` is the
+paper's original sequential transport, byte for byte.
 """
 
 from __future__ import annotations
@@ -16,16 +29,17 @@ from dataclasses import dataclass, field
 
 from repro.core.delivery import ViewMode
 from repro.smartcard.apdu import (
-    APDUError,
+    BatchOutcome,
     CommandAPDU,
     Instruction,
     ResponseAPDU,
-    StatusWord,
+    transmit_chunk_batch,
 )
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.card import SmartCard, encode_header
 from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
 from repro.dsp.server import DSPServer
+from repro.terminal.transfer import TransferPolicy
 
 _FLAG_HAS_QUERY = 0x01
 _FLAG_REFETCH = 0x02
@@ -58,11 +72,13 @@ class CardProxy:
         dsp: DSPServer,
         link: LinkModel | None = None,
         clock: SimClock | None = None,
+        transfer: TransferPolicy | None = None,
     ) -> None:
         self.card = card
         self.dsp = dsp
         self.link = link or LinkModel()
         self.clock = clock or dsp.clock
+        self.transfer = transfer or TransferPolicy()
         self._selected = False
 
     # -- link ------------------------------------------------------------
@@ -141,9 +157,11 @@ class CardProxy:
             self.select(metrics)
         self._begin(doc_id, subject, query, strategy, view_mode, groups, metrics)
         header = self.dsp.get_header(doc_id)
-        metrics.bytes_from_dsp += 64
+        encoded_header = encode_header(header)
+        metrics.dsp_requests += 1
+        metrics.bytes_from_dsp += len(encoded_header)
         self._transmit(
-            CommandAPDU(Instruction.PUT_HEADER, data=encode_header(header)),
+            CommandAPDU(Instruction.PUT_HEADER, data=encoded_header),
             metrics,
             "put header",
         )
@@ -205,6 +223,7 @@ class CardProxy:
 
     def _send_rules(self, doc_id: str, metrics: SessionMetrics) -> None:
         version, records = self.dsp.get_rules(doc_id)
+        metrics.dsp_requests += 1
         metrics.bytes_from_dsp += sum(len(r) for r in records)
         for index, record in enumerate(records):
             data = struct.pack(">Q", version) + record
@@ -219,26 +238,85 @@ class CardProxy:
                 f"put rule {index}",
             )
 
-    def _stream_document(
+    # -- chunk fetch planning ------------------------------------------------
+
+    def _fetch_range(
+        self,
+        doc_id: str,
+        start: int,
+        count: int,
+        metrics: SessionMetrics,
+        chunk_cache: dict[int, bytes],
+    ) -> list[bytes]:
+        """One DSP round trip for ``count`` consecutive chunks."""
+        try:
+            if count == 1 and self.transfer.window == 1:
+                blobs = [self.dsp.get_chunk(doc_id, start)]
+            else:
+                blobs = self.dsp.get_chunk_range(doc_id, start, count)
+        except (IndexError, KeyError) as exc:
+            raise ProxyError(
+                f"DSP could not serve chunks {start}..{start + count - 1} "
+                f"of {doc_id!r} (truncated document?)"
+            ) from exc
+        metrics.dsp_requests += 1
+        for offset, blob in enumerate(blobs):
+            chunk_cache[start + offset] = blob
+            metrics.bytes_from_dsp += len(blob)
+        return blobs
+
+    @staticmethod
+    def _missing_runs(start: int, stop: int, have) -> list[tuple[int, int]]:
+        """Consecutive ``(start, count)`` runs of [start, stop) not in
+        ``have`` -- the holes a ranged fetch must fill."""
+        runs: list[tuple[int, int]] = []
+        index = start
+        while index < stop:
+            if index in have:
+                index += 1
+                continue
+            run_end = index
+            while run_end < stop and run_end not in have:
+                run_end += 1
+            runs.append((index, run_end - index))
+            index = run_end
+        return runs
+
+    def _fill_window(
         self,
         doc_id: str,
         header,
+        cursor: int,
+        prefetched: dict[int, bytes],
         metrics: SessionMetrics,
-        output: bytearray,
         chunk_cache: dict[int, bytes],
     ) -> None:
-        index = 0
-        while index < header.chunk_count:
-            try:
-                blob = self.dsp.get_chunk(doc_id, index)
-            except (IndexError, KeyError) as exc:
-                raise ProxyError(
-                    f"DSP could not serve chunk {index} of {doc_id!r} "
-                    "(truncated document?)"
-                ) from exc
-            chunk_cache[index] = blob
-            metrics.bytes_from_dsp += len(blob)
-            metrics.chunks_sent += 1
+        """Top the prefetch window up to ``window`` chunks past cursor.
+
+        Missing stretches are fetched run by run, each run one ranged
+        DSP request -- after a skip the window may already hold its
+        leading chunks, so only the holes cost a round trip.
+        """
+        end = min(cursor + self.transfer.window, header.chunk_count)
+        for start, count in self._missing_runs(cursor, end, prefetched):
+            blobs = self._fetch_range(
+                doc_id, start, count, metrics, chunk_cache
+            )
+            for offset, blob in enumerate(blobs):
+                prefetched[start + offset] = blob
+
+    # -- document streaming --------------------------------------------------
+
+    def _transmit_batch(
+        self,
+        batch: list[tuple[int, bytes]],
+        metrics: SessionMetrics,
+    ) -> BatchOutcome:
+        """Send one chunk batch through the shared batch protocol."""
+        first, last = batch[0][0], batch[-1][0]
+        if len(batch) == 1 and self.transfer.apdu_batch == 1:
+            # Degenerate policy: the paper's original PUT_CHUNK path.
+            index, blob = batch[0]
             response = self._transmit(
                 CommandAPDU(
                     Instruction.PUT_CHUNK,
@@ -250,12 +328,68 @@ class CardProxy:
                 f"put chunk {index}",
             )
             next_offset, done = struct.unpack(">QB", response.data[:9])
-            self._drain_output(metrics, output, response)
-            if done:
+            return BatchOutcome(
+                response=response,
+                completed=True,
+                next_offset=next_offset,
+                done=bool(done),
+                consumed=1,
+            )
+        # _transmit raises ProxyError on any refused frame, so the
+        # outcome always comes back completed here.
+        return transmit_chunk_batch(
+            lambda command: self._transmit(
+                command, metrics, f"put chunk batch {first}..{last}"
+            ),
+            batch,
+            self.link.max_command_payload,
+        )
+
+    def _stream_document(
+        self,
+        doc_id: str,
+        header,
+        metrics: SessionMetrics,
+        output: bytearray,
+        chunk_cache: dict[int, bytes],
+    ) -> None:
+        policy = self.transfer
+        prefetched: dict[int, bytes] = {}
+        index = 0
+        while index < header.chunk_count:
+            self._fill_window(
+                doc_id, header, index, prefetched, metrics, chunk_cache
+            )
+            batch_end = min(index + policy.apdu_batch, header.chunk_count)
+            batch = [(i, prefetched.pop(i)) for i in range(index, batch_end)]
+            outcome = self._transmit_batch(batch, metrics)
+            metrics.chunks_sent += len(batch) - outcome.dropped
+            metrics.chunks_wasted += outcome.dropped
+            metrics.bytes_wasted += outcome.dropped_bytes
+            output.extend(outcome.piggyback)
+            metrics.output_bytes += len(outcome.piggyback)
+            self._drain_output(metrics, output, outcome.response)
+            if outcome.done:
                 break
-            next_index = max(index + 1, next_offset // header.chunk_size)
-            metrics.chunks_skipped += next_index - index - 1
+            last_sent = batch[-1][0]
+            next_index = max(
+                last_sent + 1, outcome.next_offset // header.chunk_size
+            )
+            # Reconcile the window with the skip directive: prefetched
+            # chunks the card jumped over are discarded before the card
+            # link (wasted fetch); never-fetched ones are pure savings.
+            for jumped in range(last_sent + 1, next_index):
+                blob = prefetched.pop(jumped, None)
+                if blob is None:
+                    metrics.chunks_skipped += 1
+                else:
+                    metrics.chunks_wasted += 1
+                    metrics.bytes_wasted += len(blob)
             index = next_index
+        # A document that completed early strands the window's tail.
+        for blob in prefetched.values():
+            metrics.chunks_wasted += 1
+            metrics.bytes_wasted += len(blob)
         response = self._transmit(
             CommandAPDU(Instruction.END_DOCUMENT), metrics, "end document"
         )
@@ -307,12 +441,11 @@ class CardProxy:
             )
             first_chunk = start // header.chunk_size
             last_chunk = (end - 1) // header.chunk_size
+            self._fetch_refetch_range(
+                doc_id, first_chunk, last_chunk, metrics, chunk_cache
+            )
             for index in range(first_chunk, last_chunk + 1):
-                blob = chunk_cache.get(index)
-                if blob is None:
-                    blob = self.dsp.get_chunk(doc_id, index)
-                    chunk_cache[index] = blob
-                    metrics.bytes_from_dsp += len(blob)
+                blob = chunk_cache[index]
                 metrics.refetch_bytes += len(blob)
                 response = self._transmit(
                     CommandAPDU(
@@ -330,6 +463,20 @@ class CardProxy:
                     break
             fragments.append((entry_id, sink.decode("utf-8")))
         return fragments
+
+    def _fetch_refetch_range(
+        self,
+        doc_id: str,
+        first_chunk: int,
+        last_chunk: int,
+        metrics: SessionMetrics,
+        chunk_cache: dict[int, bytes],
+    ) -> None:
+        """Fetch the cache's holes in [first, last], run by ranged run."""
+        for start, count in self._missing_runs(
+            first_chunk, last_chunk + 1, chunk_cache
+        ):
+            self._fetch_range(doc_id, start, count, metrics, chunk_cache)
 
     def _fill_card_stats(self, metrics: SessionMetrics) -> None:
         soe = self.card.soe

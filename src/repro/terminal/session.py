@@ -15,10 +15,11 @@ from repro.crypto.pki import SimulatedPKI
 from repro.dsp.server import DSPServer
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.card import SmartCard
-from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
+from repro.smartcard.resources import LinkModel, SessionMetrics
 from repro.smartcard.soe import SecureOperatingEnvironment
 from repro.terminal.api import AuthorizedResult
 from repro.terminal.proxy import CardProxy
+from repro.terminal.transfer import TransferPolicy
 
 
 class Terminal:
@@ -34,6 +35,7 @@ class Terminal:
         ram_quota: int | None = 1024,
         strict_memory: bool = True,
         registry: PolicyRegistry | None = None,
+        transfer: TransferPolicy | None = None,
     ) -> None:
         self.user = user
         self.dsp = dsp
@@ -51,7 +53,9 @@ class Terminal:
             # compiled-policy cache instead of the card's private one.
             card.use_registry(registry)
         self.card = card
-        self.proxy = CardProxy(card, dsp, link=link, clock=self.clock)
+        self.proxy = CardProxy(
+            card, dsp, link=link, clock=self.clock, transfer=transfer
+        )
         self._unlocked: set[str] = set()
 
     def unlock_document(self, doc_id: str, owner: str) -> None:

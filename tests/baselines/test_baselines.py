@@ -8,7 +8,7 @@ from repro.core.rules import AccessRule, RuleSet
 from repro.workloads.docgen import agenda
 from repro.workloads.rulegen import agenda_rules, owner_private_rules
 from repro.xmlstream.parser import parse_string
-from repro.xmlstream.tree import parse_tree, tree_to_events
+from repro.xmlstream.tree import parse_tree
 from repro.xmlstream.writer import write_string
 
 MEMBERS = ["alice", "bruno", "carla"]

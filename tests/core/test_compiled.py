@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.compiled import (
     AUTOMATON_STATE_BYTES,
-    CompiledPolicy,
     PolicyRegistry,
     compile_policy,
 )

@@ -6,7 +6,7 @@ from repro.core.conditions import Tristate
 from repro.core.nfa import compile_path
 from repro.core.runtime import TokenEngine
 from repro.xmlstream.parser import parse_string
-from repro.xmlstream.events import CloseEvent, OpenEvent, ValueEvent
+from repro.xmlstream.events import OpenEvent, ValueEvent
 from repro.xpathlib.parser import parse_path
 
 

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.merkle import (
-    AuthPath,
     MerkleTree,
     hash_operations,
     verify_chunk,

@@ -18,7 +18,9 @@ from repro.xmlstream.writer import write_string
 SECRET = b"push-test-secret"
 
 
-def _broadcast_setup(rules_by_subscriber, doc_root, doc_id="stream"):
+def _broadcast_setup(
+    rules_by_subscriber, doc_root, doc_id="stream", transfer=None
+):
     """Seal the document once, build one card per subscriber."""
     keys = DocumentKeys(SECRET)
     plaintext = encode_document(
@@ -40,7 +42,9 @@ def _broadcast_setup(rules_by_subscriber, doc_root, doc_id="stream"):
             )
             for index, rule in enumerate(rules)
         ]
-        subscriber = Subscriber(name, card, 1, records, clock=channel.clock)
+        subscriber = Subscriber(
+            name, card, 1, records, clock=channel.clock, transfer=transfer
+        )
         channel.subscribe(subscriber.on_frame)
         subscribers.append(subscriber)
     return channel, container, subscribers
@@ -111,3 +115,37 @@ def test_subscriber_without_rules_receives_nothing():
     (subscriber,) = subscribers
     assert subscriber.ok
     assert subscriber.view == ""
+
+
+def test_batched_subscribers_see_identical_views():
+    """PUT_CHUNK_BATCH on the broadcast link changes costs, not views."""
+    from repro.terminal.transfer import TransferPolicy
+
+    doc = video_catalog(20)
+    policies = {
+        "newsie": subscription_rules("newsie", ["news"]),
+        "sporty": subscription_rules("sporty", ["news", "sports"]),
+        "kid": parental_rules("kid", "PG"),
+    }
+    channel, container, plain = _broadcast_setup(policies, doc)
+    StreamPublisher(channel).broadcast_document(container)
+    for batch in (2, 4, 8):
+        channel, container, batched = _broadcast_setup(
+            policies, doc, transfer=TransferPolicy.windowed(batch)
+        )
+        StreamPublisher(channel).broadcast_document(container)
+        for seq, win in zip(plain, batched):
+            assert win.ok, win.state.failed
+            assert win.view == seq.view, (win.name, batch)
+            assert win.metrics.bytes_decrypted == seq.metrics.bytes_decrypted
+            # Speculative frames only move between the skipped (dropped
+            # at the terminal) and wasted (dropped on-card) buckets.
+            assert (
+                win.metrics.chunks_skipped + win.metrics.chunks_wasted
+                == seq.metrics.chunks_skipped
+            ), (win.name, batch)
+        # Narrow (skip-heavy) subscribers may individually pay for the
+        # speculation; across the fleet batching must win round trips.
+        assert sum(w.metrics.apdu_count for w in batched) < sum(
+            s.metrics.apdu_count for s in plain
+        )

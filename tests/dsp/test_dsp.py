@@ -6,6 +6,7 @@ from repro.crypto.container import seal_document
 from repro.crypto.keys import DocumentKeys
 from repro.dsp.server import DSPServer
 from repro.dsp.store import DSPStore
+from repro.smartcard.card import encode_header
 
 KEYS = DocumentKeys(b"dsp-test-secret!")
 
@@ -43,12 +44,16 @@ def test_server_charges_network():
     store.put_rules("doc", [b"record"], 1)
     store.put_wrapped_key("doc", "u", b"wrapped")
     server = DSPServer(store)
-    server.get_header("doc")
+    header = server.get_header("doc")
+    header_wire = len(encode_header(header))
     blob = server.get_chunk("doc", 0)
     version, records = server.get_rules("doc")
     wrapped = server.get_wrapped_key("doc", "u")
     assert version == 1 and records == [b"record"] and wrapped == b"wrapped"
-    assert server.bytes_served >= 64 + len(blob) + len(b"record") + len(b"wrapped")
+    # The header is charged at its real encoded size, not a flat 64.
+    assert server.bytes_served == (
+        header_wire + len(blob) + len(b"record") + len(b"wrapped")
+    )
     assert server.requests == 4
     assert server.clock.component("network") > 0
 
@@ -59,3 +64,44 @@ def test_server_serves_chunks_by_index():
     store.put_document(container)
     server = DSPServer(store)
     assert server.get_chunk("doc", 2) == container.chunks[2]
+    assert server.served_ranges == [("doc", 2, 1)]
+
+
+def test_chunk_range_is_one_request():
+    store = DSPStore()
+    container = _container()
+    store.put_document(container)
+    server = DSPServer(store)
+    blobs = server.get_chunk_range("doc", 0, 3)
+    assert blobs == list(container.chunks[:3])
+    assert server.requests == 1
+    assert server.chunks_served == 3
+    assert server.served_ranges == [("doc", 0, 3)]
+    assert server.bytes_served == sum(len(b) for b in blobs)
+    # One request charges the per-request overhead exactly once.
+    singles = DSPServer(store)
+    for index in range(3):
+        singles.get_chunk("doc", index)
+    assert singles.bytes_served == server.bytes_served
+    assert singles.clock.component("network") > server.clock.component("network")
+
+
+def test_chunk_range_clips_to_document_end():
+    store = DSPStore()
+    container = _container()
+    store.put_document(container)
+    server = DSPServer(store)
+    total = len(container.chunks)
+    blobs = server.get_chunk_range("doc", total - 1, 8)
+    assert blobs == [container.chunks[-1]]
+    assert server.served_ranges == [("doc", total - 1, 1)]
+
+
+def test_chunk_range_rejects_bad_bounds():
+    store = DSPStore()
+    store.put_document(_container())
+    server = DSPServer(store)
+    with pytest.raises(IndexError):
+        server.get_chunk_range("doc", 999, 1)
+    with pytest.raises(ValueError):
+        server.get_chunk_range("doc", 0, 0)

@@ -14,7 +14,6 @@ from repro.skipindex.decoder import (
 )
 from repro.skipindex.encoder import IndexMode, encode_document, encoded_size
 from repro.skipindex.tagdict import TagDictionary
-from repro.xmlstream.events import CloseEvent, OpenEvent, ValueEvent
 from repro.xmlstream.parser import parse_string
 from repro.xmlstream.tree import tree_to_events
 

@@ -3,10 +3,12 @@
 import pytest
 
 from repro.smartcard.apdu import (
+    BatchAssembler,
     CommandAPDU,
     Instruction,
     ResponseAPDU,
     StatusWord,
+    encode_batch_records,
     split_payload,
 )
 
@@ -47,3 +49,49 @@ def test_split_payload():
     assert [len(p) for p in pieces] == [255, 255, 90]
     assert split_payload(b"") == [b""]
     assert split_payload(b"ab", limit=1) == [b"a", b"b"]
+
+
+# -- chunk-batch framing -----------------------------------------------------
+
+
+def _roundtrip(members, limit):
+    """Frame members with split_payload, reassemble card-side."""
+    assembler = BatchAssembler()
+    out = []
+    for frame in split_payload(encode_batch_records(members), limit):
+        out.extend(assembler.feed(frame))
+    return out, assembler
+
+
+def test_batch_records_roundtrip():
+    members = [(0, b"alpha"), (1, b"bravo!"), (7, b"")]
+    got, assembler = _roundtrip(members, 255)
+    assert got == members
+    assert assembler.residue == 0
+
+
+def test_batch_records_survive_any_frame_cut():
+    """Records may be cut mid-header or mid-blob at every frame size."""
+    members = [(3, bytes(range(90))), (4, b"x" * 120), (5, b"tail")]
+    for limit in (1, 2, 3, 5, 64, 255):
+        got, assembler = _roundtrip(members, limit)
+        assert got == members, f"limit={limit}"
+        assert assembler.residue == 0
+
+
+def test_batch_assembler_reports_residue():
+    assembler = BatchAssembler()
+    payload = encode_batch_records([(1, b"abcdef")])
+    assert assembler.feed(payload[:-2]) == []
+    assert assembler.residue == len(payload) - 2
+    assert assembler.feed(payload[-2:]) == [(1, b"abcdef")]
+    assembler.feed(payload[:3])
+    assembler.reset()
+    assert assembler.residue == 0
+
+
+def test_batch_record_bounds():
+    with pytest.raises(ValueError):
+        encode_batch_records([(0x10000, b"")])
+    with pytest.raises(ValueError):
+        encode_batch_records([(0, b"x" * 0x10001)])

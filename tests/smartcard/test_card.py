@@ -96,3 +96,111 @@ def test_get_status_payload():
     assert response.sw == StatusWord.OK
     ram, cycles, decrypted, skipped = struct.unpack(">IQQQ", response.data)
     assert ram >= 0 and cycles >= 0 and decrypted == 0 and skipped == 0
+
+
+def _streaming_card(doc_id="d"):
+    """A card with a verified header, ready to take chunks."""
+    keys = DocumentKeys(SECRET)
+    body = " ".join(f"word{i}" for i in range(40))
+    plaintext = encode_document(
+        parse_string(f"<a><b>{body}</b><c>two</c></a>")
+    )
+    container = seal_document(plaintext, doc_id, 1, keys, chunk_size=32)
+    card = SmartCard()
+    _select(card)
+    card.process(
+        CommandAPDU(
+            Instruction.ADMIN_PROVISION_KEY,
+            data=bytes([len(doc_id)]) + doc_id.encode() + SECRET,
+        )
+    )
+    begin = bytes([0, len(doc_id)]) + doc_id.encode() + bytes([1]) + b"u"
+    assert card.process(
+        CommandAPDU(Instruction.BEGIN_SESSION, data=begin)
+    ).sw == StatusWord.OK
+    assert card.process(
+        CommandAPDU(Instruction.PUT_HEADER, data=encode_header(container.header))
+    ).sw == StatusWord.OK
+    # Grant everything to "u" so no subtree is skipped: every chunk of
+    # the stream is genuinely needed by the card.
+    from repro.crypto.container import seal_blob
+
+    record = seal_blob(b"+|u|//a", f"{doc_id}#rule:0", 1, keys)
+    rule = struct.pack(">Q", 1) + record
+    assert card.process(
+        CommandAPDU(Instruction.PUT_RULES, data=rule)
+    ).sw == StatusWord.OK
+    return card, container
+
+
+def test_chunk_batch_before_header_rejected():
+    card = SmartCard()
+    _select(card)
+    from repro.smartcard.apdu import BATCH_FINAL
+
+    response = card.process(
+        CommandAPDU(Instruction.PUT_CHUNK_BATCH, p1=BATCH_FINAL, data=b"")
+    )
+    assert response.sw == StatusWord.CONDITIONS_NOT_SATISFIED
+
+
+def test_chunk_batch_truncated_record_rejected():
+    from repro.smartcard.apdu import BATCH_FINAL, encode_batch_records
+
+    card, container = _streaming_card()
+    payload = encode_batch_records([(0, container.chunks[0])])
+    response = card.process(
+        CommandAPDU(Instruction.PUT_CHUNK_BATCH, p1=BATCH_FINAL, data=payload[:-1])
+    )
+    assert response.sw == StatusWord.WRONG_DATA
+    # The aborted batch leaves the card able to start a fresh one.
+    response = card.process(
+        CommandAPDU(Instruction.PUT_CHUNK_BATCH, p1=BATCH_FINAL, data=payload)
+    )
+    assert response.ok
+
+
+def test_chunk_batch_matches_per_chunk_results():
+    from repro.smartcard.apdu import (
+        BATCH_FINAL,
+        encode_batch_records,
+        split_payload,
+    )
+
+    card, container = _streaming_card()
+    members = list(enumerate(container.chunks))
+    frames = split_payload(encode_batch_records(members), 255)
+    for position, frame in enumerate(frames):
+        final = position == len(frames) - 1
+        response = card.process(
+            CommandAPDU(
+                Instruction.PUT_CHUNK_BATCH,
+                p1=BATCH_FINAL if final else 0,
+                data=frame,
+            )
+        )
+        assert response.ok
+        if not final:
+            assert response.data == b""
+    next_offset, done, consumed, dropped, dropped_bytes = struct.unpack(
+        ">QBHHI", response.data[:17]
+    )
+    assert done == 1
+    assert consumed == len(members)
+    assert dropped == 0 and dropped_bytes == 0
+    # Compare against the sequential card: same resume offset, and the
+    # batch response piggybacks the same authorized output bytes.
+    other, __ = _streaming_card()
+    for index, blob in members:
+        seq_resp = other.process(
+            CommandAPDU(
+                Instruction.PUT_CHUNK,
+                p1=index >> 8,
+                p2=index & 0xFF,
+                data=blob,
+            )
+        )
+        assert seq_resp.ok
+    seq_offset, seq_done = struct.unpack(">QB", seq_resp.data[:9])
+    assert (next_offset, done) == (seq_offset, seq_done)
+    assert card.applet.bytes_decrypted == other.applet.bytes_decrypted
