@@ -77,6 +77,12 @@ def main() -> None:
         help="also write every table as machine-readable JSON "
         "(e.g. BENCH_RESULTS.json), for tracking across PRs",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile and dump the top 25 "
+        "functions by cumulative time",
+    )
     args = parser.parse_args()
 
     results: dict[str, dict] = {}
@@ -84,7 +90,23 @@ def main() -> None:
     for path in _select(args.quick, args.only):
         module = _load(path)
         start = time.time()
-        title, headers, rows = module.run_experiment()
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            title, headers, rows = module.run_experiment()
+            profiler.disable()
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream).sort_stats(
+                "cumulative"
+            ).print_stats(25)
+            print(f"\n[{path.name}] top 25 by cumulative time:")
+            print(stream.getvalue())
+        else:
+            title, headers, rows = module.run_experiment()
         elapsed = time.time() - start
         print()
         print_table(title, headers, rows)

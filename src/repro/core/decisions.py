@@ -46,6 +46,12 @@ class Pending:
 
 Status = Resolved | Pending
 
+#: Shared resolution singletons -- ``status()`` runs once or more per
+#: element per evaluator, and the two resolved outcomes are value
+#: objects (frozen, compared by field), so one instance each suffices.
+_RESOLVED_DENY = Resolved(Sign.DENY)
+_RESOLVED_PERMIT = Resolved(Sign.PERMIT)
+
 
 class DecisionNode:
     """Authorization state of one element node.
@@ -99,7 +105,24 @@ class DecisionNode:
         subscribes to them).
         """
         if self._definite_deny:
-            return Resolved(Sign.DENY)
+            return _RESOLVED_DENY
+        if not self._pending and not self._definite_permit:
+            # Pure fallback node: nothing recorded here can ever decide
+            # (the match set is complete at open), so the answer is the
+            # nearest ancestor that holds any decision state.  Compress
+            # the parent pointer to that ancestor -- repeated status
+            # probes on deep chains become O(1) instead of O(depth).
+            target = self.parent
+            assert target is not None, "virtual root must be definite"
+            while (
+                target.parent is not None
+                and not target._pending
+                and not target._definite_deny
+                and not target._definite_permit
+            ):
+                target = target.parent
+            self.parent = target
+            return target.status()
         unknowns: set[Condition] = set()
         deny_open = False
         for conditions, sign in self._pending:
@@ -107,7 +130,7 @@ class DecisionNode:
                 continue
             state = conjunction_state(conditions)
             if state is Tristate.TRUE:
-                return Resolved(Sign.DENY)
+                return _RESOLVED_DENY
             if state is Tristate.UNKNOWN:
                 deny_open = True
                 unknowns.update(
@@ -116,14 +139,14 @@ class DecisionNode:
         if deny_open:
             return Pending(frozenset(unknowns))
         if self._definite_permit:
-            return Resolved(Sign.PERMIT)
+            return _RESOLVED_PERMIT
         permit_open = False
         for conditions, sign in self._pending:
             if sign is not Sign.PERMIT:
                 continue
             state = conjunction_state(conditions)
             if state is Tristate.TRUE:
-                return Resolved(Sign.PERMIT)
+                return _RESOLVED_PERMIT
             if state is Tristate.UNKNOWN:
                 permit_open = True
                 unknowns.update(

@@ -35,7 +35,7 @@ import enum
 from typing import Union
 
 from repro.core.conditions import Condition
-from repro.core.decisions import DecisionNode, Pending, Resolved, Status
+from repro.core.decisions import DecisionNode, Resolved
 from repro.core.rules import Sign
 from repro.xmlstream.events import (
     CloseEvent,
@@ -51,6 +51,10 @@ class ViewMode(enum.Enum):
 
     SKELETON = "skeleton"
     PRUNE = "prune"
+
+
+#: Shared empty condition set for resolved statuses.
+_NO_CONDITIONS: frozenset[Condition] = frozenset()
 
 
 class _SelfText:
@@ -195,20 +199,35 @@ class DeliveryEngine:
 
         A definite DENY on either side drops the element regardless of
         the other side; both must be definitively PERMIT to deliver.
+        The two sides are folded directly (no list materialization --
+        this runs at least once per element per session).
         """
-        statuses: list[Status] = [auth.status()]
-        if query is not None:
-            statuses.append(query.status())
-        for status in statuses:
-            if isinstance(status, Resolved) and status.sign is Sign.DENY:
-                return _Record.DROP, frozenset()
+        auth_status = auth.status()
+        query_status = query.status() if query is not None else None
+        if isinstance(auth_status, Resolved):
+            if auth_status.sign is Sign.DENY:
+                return _Record.DROP, _NO_CONDITIONS
+            auth_unknowns = None
+        else:
+            auth_unknowns = auth_status.unknowns
+        if query_status is None:
+            if auth_unknowns:
+                return _Record.PENDING, auth_unknowns
+            return _Record.DELIVER, _NO_CONDITIONS
+        if isinstance(query_status, Resolved):
+            if query_status.sign is Sign.DENY:
+                return _Record.DROP, _NO_CONDITIONS
+            query_unknowns = None
+        else:
+            query_unknowns = query_status.unknowns
+        if not auth_unknowns and not query_unknowns:
+            return _Record.DELIVER, _NO_CONDITIONS
         unknowns: set[Condition] = set()
-        for status in statuses:
-            if isinstance(status, Pending):
-                unknowns.update(status.unknowns)
-        if unknowns:
-            return _Record.PENDING, frozenset(unknowns)
-        return _Record.DELIVER, frozenset()
+        if auth_unknowns:
+            unknowns.update(auth_unknowns)
+        if query_unknowns:
+            unknowns.update(query_unknowns)
+        return _Record.PENDING, frozenset(unknowns)
 
     # -- events -------------------------------------------------------------
 
@@ -326,6 +345,8 @@ class DeliveryEngine:
 
     def _settle(self, items: list[Item]) -> None:
         """Replace finalizable holes with their contributions, in place."""
+        if not any(isinstance(item, _Hole) for item in items):
+            return  # hot path: nothing pending, no list rebuild
         changed = True
         while changed:
             changed = False

@@ -40,12 +40,27 @@ class CompiledStep:
     ``predicates`` holds the compiled predicate paths instantiated when
     this step matches; ``dot_comparisons`` holds ``[. op literal]``
     value tests on the matched node itself.
+
+    ``match_name`` and ``descendant`` are the step's transition table,
+    flattened at compile time: the token engine's ``open()`` decides
+    advance/stay per token with two attribute loads instead of a method
+    call and an enum identity test per event.  (A real tag->state dict
+    is impossible here -- wildcard steps accept an unbounded alphabet --
+    so the "dict" degenerates to its two precomputed entries.)
     """
 
     axis: Axis
     test: NodeTest
     predicates: tuple["CompiledPath", ...] = field(default=())
     dot_comparisons: tuple[Comparison, ...] = field(default=())
+    #: Tag accepted by this step, ``None`` for the wildcard (derived).
+    match_name: str | None = field(init=False, repr=False, compare=False)
+    #: Whether the step rides the descendant axis (derived).
+    descendant: bool = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "match_name", self.test.name)
+        object.__setattr__(self, "descendant", self.axis is Axis.DESCENDANT)
 
 
 @dataclass(frozen=True, slots=True)

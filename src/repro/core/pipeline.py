@@ -101,22 +101,28 @@ class AccessController:
     # -- streaming interface ------------------------------------------------
 
     def feed(self, event: Event) -> list[Event]:
-        """Process one event; return output events released by it."""
+        """Process one event; return output events released by it.
+
+        Exact-type dispatch first (the event classes are final in
+        practice), with the isinstance chain kept as a fallback for
+        duck-typed subclasses.
+        """
         if self._finished:
             raise RuntimeError("controller already finished")
-        if isinstance(event, OpenEvent):
+        cls = type(event)
+        if cls is OpenEvent or isinstance(event, OpenEvent):
             auth = self._policy.open(event.tag)
             query = self._query.open(event.tag) if self._query else None
             self._delivery.open(event, auth, query)
             self._depth += 1
-        elif isinstance(event, ValueEvent):
+        elif cls is ValueEvent or isinstance(event, ValueEvent):
             if self._depth == 0:
                 raise ValueError("text event outside the root element")
             self._policy.value(event.text)
             if self._query:
                 self._query.value(event.text)
             self._delivery.value(event)
-        elif isinstance(event, CloseEvent):
+        elif cls is CloseEvent or isinstance(event, CloseEvent):
             if self._depth == 0:
                 raise ValueError("unbalanced close event")
             self._delivery.close(event)

@@ -35,7 +35,7 @@ from repro.core.conditions import (
     live_conditions,
 )
 from repro.core.nfa import CompiledPath, CompiledStep
-from repro.xpathlib.ast import Axis, Comparison
+from repro.xpathlib.ast import Comparison
 
 #: Modeled sizes (bytes) of runtime structures inside the card's secure
 #: RAM.  Chosen to reflect a compact C implementation on the target
@@ -188,12 +188,22 @@ class TokenEngine:
     # -- event processing ------------------------------------------------
 
     def open(self, tag: str) -> None:
-        """Advance all automata on an opening tag."""
-        self.stats.events += 1
-        parent = self._frames[-1]
+        """Advance all automata on an opening tag.
+
+        This is the per-event inner loop: the step's precomputed
+        ``match_name``/``descendant`` transition fields (see
+        :class:`~repro.core.nfa.CompiledStep`) replace the method call
+        and enum test per token, and hot attributes are hoisted into
+        locals.  Counter totals are byte-identical to the seed's
+        per-token increments.
+        """
+        stats = self.stats
+        stats.events += 1
+        frames = self._frames
+        parent_tokens = frames[-1].tokens
         frame = _Frame()
         self._charge(FRAME_BYTES)
-        new_depth = len(self._frames)
+        new_depth = len(frames)
         # Dedupe: several parent tokens may advance into an identical
         # state (same automaton, same index, same guards, reporting to
         # the same sink); one suffices.  The sink is part of the state:
@@ -203,16 +213,18 @@ class TokenEngine:
         seen: set[tuple[int, int, int, frozenset[Condition]]] = set()
         # Dedupe: one condition per (predicate path, context node).
         conditions_here: dict[int, Condition] = {}
-        for token in parent.tokens:
-            self.stats.token_checks += 1
-            step = token.next_step
-            if step.test.matches(tag):
+        stay = frame.tokens.append
+        for token in parent_tokens:
+            step = token.path.steps[token.index]
+            name = step.match_name
+            if name is None or name == tag:
                 self._advance(token, frame, new_depth, seen, conditions_here)
-            if step.axis is Axis.DESCENDANT:
+            if step.descendant:
                 # Descendant-axis states stay alive at deeper levels --
                 # the self-loop of Figure 2.
-                frame.tokens.append(token)
-        self._frames.append(frame)
+                stay(token)
+        stats.token_checks += len(parent_tokens)
+        frames.append(frame)
         self._charge(TOKEN_BYTES * len(frame.tokens))
 
     def _advance(
@@ -224,7 +236,7 @@ class TokenEngine:
         conditions_here: dict[int, Condition],
     ) -> None:
         self.stats.token_advances += 1
-        step = token.next_step
+        step = token.path.steps[token.index]
         guards = set(live_conditions(token.conditions))
         for predicate_path in step.predicates:
             condition = conditions_here.get(id(predicate_path))

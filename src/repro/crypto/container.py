@@ -20,7 +20,12 @@ from repro.crypto.mac import (
     header_mac,
     verify_mac,
 )
-from repro.crypto.modes import PaddingError, cbc_decrypt, cbc_encrypt
+from repro.crypto.modes import (
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    cbc_encrypt_many,
+)
 
 DEFAULT_CHUNK_SIZE = 96  # plaintext bytes per chunk; fits card RAM easily
 
@@ -88,11 +93,20 @@ def seal_document(
     if chunk_size <= 0:
         raise ValueError("chunk size must be positive")
     chunk_count = max(1, -(-len(plaintext) // chunk_size))
+    # All chunks encrypt through one shared keyed cipher, bit-sliced
+    # across chunks (each chunk chains internally on its own IV).
+    ciphertexts = cbc_encrypt_many(
+        [
+            (
+                plaintext[index * chunk_size:(index + 1) * chunk_size],
+                keys.iv(doc_id, version, index),
+            )
+            for index in range(chunk_count)
+        ],
+        keys.cipher,
+    )
     chunks: list[bytes] = []
-    for index in range(chunk_count):
-        piece = plaintext[index * chunk_size:(index + 1) * chunk_size]
-        iv = keys.iv(doc_id, version, index)
-        ciphertext = cbc_encrypt(piece, keys.encryption, iv)
+    for index, ciphertext in enumerate(ciphertexts):
         tag = chunk_mac(
             keys.mac, doc_id, version, index, chunk_count, ciphertext, tag_length
         )
@@ -132,7 +146,7 @@ def seal_blob(
     rule record).  The label namespaces the MAC so a blob can never be
     replayed as a document chunk or as a different record."""
     iv = keys.iv(label, version, 0)
-    ciphertext = cbc_encrypt(plaintext, keys.encryption, iv)
+    ciphertext = cbc_encrypt(plaintext, keys.cipher, iv)
     tag = chunk_mac(keys.mac, label, version, 0, 1, ciphertext, tag_length)
     return ciphertext + tag
 
@@ -153,7 +167,7 @@ def open_blob(
         raise IntegrityError(f"blob MAC mismatch for {label!r}")
     iv = keys.iv(label, version, 0)
     try:
-        return cbc_decrypt(ciphertext, keys.encryption, iv)
+        return cbc_decrypt(ciphertext, keys.cipher, iv)
     except (PaddingError, ValueError) as exc:
         raise IntegrityError(f"blob {label!r} failed to decrypt") from exc
 
@@ -188,7 +202,7 @@ def open_chunk(
         )
     iv = keys.iv(header.doc_id, header.version, index)
     try:
-        plaintext = cbc_decrypt(ciphertext, keys.encryption, iv)
+        plaintext = cbc_decrypt(ciphertext, keys.cipher, iv)
     except (PaddingError, ValueError) as exc:
         raise IntegrityError(f"chunk {index} failed to decrypt") from exc
     expected_length = min(

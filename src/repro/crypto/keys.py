@@ -9,12 +9,11 @@ never requires re-encrypting anything at all.
 
 from __future__ import annotations
 
-import hashlib
-import hmac
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE
+from repro.crypto.mac import keyed_digest
+from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE, XTEACipher
 
 
 def random_key() -> bytes:
@@ -24,28 +23,34 @@ def random_key() -> bytes:
 
 def derive_key(secret: bytes, label: str, length: int = KEY_SIZE) -> bytes:
     """Deterministic subkey derivation (HKDF-like, one expand step)."""
-    return hmac.new(secret, b"derive:" + label.encode("utf-8"), hashlib.sha256).digest()[:length]
+    return keyed_digest(secret, b"derive:" + label.encode("utf-8"))[:length]
 
 
 def derive_iv(secret: bytes, doc_id: str, version: int, index: int) -> bytes:
     """Deterministic per-chunk IV; no IV storage in the container."""
     message = f"iv:{doc_id}:{version}:{index}".encode("utf-8")
-    return hmac.new(secret, message, hashlib.sha256).digest()[:BLOCK_SIZE]
+    return keyed_digest(secret, message)[:BLOCK_SIZE]
 
 
 @dataclass(frozen=True, slots=True)
 class DocumentKeys:
-    """The derived key bundle for one document."""
+    """The derived key bundle for one document.
+
+    Subkeys are derived once at construction (the seed recomputed the
+    HMAC on every ``encryption``/``mac`` access -- twice per chunk on
+    the hot path); ``cipher`` is the shared keyed XTEA instance used by
+    every seal/open call under this document.
+    """
 
     secret: bytes
+    encryption: bytes = field(init=False, repr=False)
+    mac: bytes = field(init=False, repr=False)
+    cipher: XTEACipher = field(init=False, repr=False, compare=False)
 
-    @property
-    def encryption(self) -> bytes:
-        return derive_key(self.secret, "enc")
-
-    @property
-    def mac(self) -> bytes:
-        return derive_key(self.secret, "mac")
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "encryption", derive_key(self.secret, "enc"))
+        object.__setattr__(self, "mac", derive_key(self.secret, "mac"))
+        object.__setattr__(self, "cipher", XTEACipher.for_key(self.encryption))
 
     def iv(self, doc_id: str, version: int, index: int) -> bytes:
         return derive_iv(self.secret, doc_id, version, index)

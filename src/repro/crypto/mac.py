@@ -28,9 +28,29 @@ import hmac
 
 DEFAULT_TAG_LENGTH = 8
 
+#: Keyed HMAC contexts with the key pads already absorbed; ``copy()``
+#: per message skips the two key-schedule compression rounds that
+#: ``hmac.new`` pays on every call.  Every message is still MAC'd in
+#: full -- only the key-dependent prefix state is shared.  The memo is
+#: shared with :mod:`repro.crypto.keys` (IV/subkey derivation).
+_BASES: dict[bytes, "hmac.HMAC"] = {}
+_BASE_LIMIT = 256
+
+
+def keyed_digest(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA-256 with a per-key precomputed pad state."""
+    base = _BASES.get(key)
+    if base is None:
+        if len(_BASES) >= _BASE_LIMIT:
+            _BASES.clear()
+        base = _BASES[key] = hmac.new(key, b"", hashlib.sha256)
+    mac = base.copy()
+    mac.update(message)
+    return mac.digest()
+
 
 def _mac(key: bytes, message: bytes, length: int) -> bytes:
-    return hmac.new(key, message, hashlib.sha256).digest()[:length]
+    return keyed_digest(key, message)[:length]
 
 
 def chunk_mac(

@@ -1,12 +1,17 @@
-"""CBC mode with PKCS#7 padding over the XTEA block cipher."""
+"""CBC mode with PKCS#7 padding over the XTEA block cipher.
+
+The mode layer works on whole buffers: one call pads, chains and
+encrypts (or decrypts, unchains and unpads) an entire chunk through the
+memoized :class:`~repro.crypto.xtea.XTEACipher`, instead of paying a
+Python function call and a fresh key schedule per 8-byte block.  A
+``key`` argument may be raw 16-byte key material or an already-keyed
+cipher object; the container layer passes the shared cipher so seal,
+open and MAC-adjacent paths never re-derive the schedule.
+"""
 
 from __future__ import annotations
 
-from repro.crypto.xtea import (
-    BLOCK_SIZE,
-    xtea_decrypt_block,
-    xtea_encrypt_block,
-)
+from repro.crypto.xtea import BLOCK_SIZE, XTEACipher
 
 
 class PaddingError(ValueError):
@@ -29,34 +34,41 @@ def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
     return data[:-pad]
 
 
-def _xor(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
+def _cipher(key: "bytes | XTEACipher") -> XTEACipher:
+    if isinstance(key, XTEACipher):
+        return key
+    return XTEACipher.for_key(key)
 
 
-def cbc_encrypt(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+def cbc_encrypt(plaintext: bytes, key: "bytes | XTEACipher", iv: bytes) -> bytes:
     """Encrypt with XTEA-CBC; the plaintext is PKCS#7-padded."""
     if len(iv) != BLOCK_SIZE:
         raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
-    padded = pkcs7_pad(plaintext)
-    out = bytearray()
-    previous = iv
-    for offset in range(0, len(padded), BLOCK_SIZE):
-        block = _xor(padded[offset:offset + BLOCK_SIZE], previous)
-        previous = xtea_encrypt_block(block, key)
-        out.extend(previous)
-    return bytes(out)
+    return _cipher(key).cbc_encrypt_padded(pkcs7_pad(plaintext), iv)
 
 
-def cbc_decrypt(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+def cbc_encrypt_many(
+    messages: "list[tuple[bytes, bytes]]", key: "bytes | XTEACipher"
+) -> list[bytes]:
+    """Encrypt many independent ``(plaintext, iv)`` messages at once.
+
+    Every message is padded and CBC-chained exactly as in
+    :func:`cbc_encrypt`; equal-length messages advance together through
+    the bit-sliced cipher (one lane per message).  The result list is
+    bit-for-bit what per-message :func:`cbc_encrypt` calls would return.
+    """
+    for _, iv in messages:
+        if len(iv) != BLOCK_SIZE:
+            raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    return _cipher(key).cbc_encrypt_many(
+        [(pkcs7_pad(plaintext), iv) for plaintext, iv in messages]
+    )
+
+
+def cbc_decrypt(ciphertext: bytes, key: "bytes | XTEACipher", iv: bytes) -> bytes:
     """Decrypt XTEA-CBC and strip padding."""
     if len(iv) != BLOCK_SIZE:
         raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
     if not ciphertext or len(ciphertext) % BLOCK_SIZE:
         raise ValueError("ciphertext length is not a block multiple")
-    out = bytearray()
-    previous = iv
-    for offset in range(0, len(ciphertext), BLOCK_SIZE):
-        block = ciphertext[offset:offset + BLOCK_SIZE]
-        out.extend(_xor(xtea_decrypt_block(block, key), previous))
-        previous = block
-    return pkcs7_unpad(bytes(out))
+    return pkcs7_unpad(_cipher(key).cbc_decrypt_raw(ciphertext, iv))

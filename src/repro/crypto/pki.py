@@ -47,11 +47,17 @@ class KeyPair:
 
     @classmethod
     def generate(cls, seed: bytes | None = None) -> "KeyPair":
-        """Generate a key pair (seeded for deterministic tests)."""
+        """Generate a key pair (seeded for deterministic tests).
+
+        The private exponent is 256 bits (short-exponent DH, standard
+        for a 2048-bit MODP group at the ~128-bit security level); a
+        full-group exponent made every key-agreement modexp ~8x more
+        expensive for no added strength.
+        """
         if seed is None:
             seed = os.urandom(32)
         private = int.from_bytes(
-            hashlib.sha256(b"dh-private:" + seed).digest() * 8, "big"
+            hashlib.sha256(b"dh-private:" + seed).digest(), "big"
         ) % (_P - 2) + 1
         return cls(private, pow(_G, private, _P))
 
@@ -74,12 +80,42 @@ class SimulatedPKI:
     def __init__(self) -> None:
         self._directory: dict[str, int] = {}
         self._pairs: dict[str, KeyPair] = {}
+        # (principal, peer_public) -> KEK.  DH is deterministic, so the
+        # cache is transparent; it spares the 2048-bit modular
+        # exponentiation on every wrap/unwrap between the same pair
+        # (one publish + one unlock per session paid ~27 ms each).
+        self._kek_cache: dict[tuple[str, int], bytes] = {}
+
+    def _kek(self, principal: str, peer_public: int) -> bytes:
+        key = (principal, peer_public)
+        kek = self._kek_cache.get(key)
+        if kek is None:
+            kek = shared_secret(self._pairs[principal], peer_public)
+            self._kek_cache[key] = kek
+        return kek
 
     def enroll(self, principal: str, seed: bytes | None = None) -> KeyPair:
-        """Create and register a key pair for a principal."""
+        """Create and register a key pair for a principal.
+
+        Re-enrolling (key rotation) evicts the principal's cached KEKs:
+        they were derived from the old private key and would silently
+        unwrap to garbage against peers holding the new public key.
+        """
         if seed is None:
             seed = b"enroll:" + principal.encode("utf-8")
         pair = KeyPair.generate(seed)
+        old_public = self._directory.get(principal)
+        if old_public is not None:
+            # Drop the principal's own KEKs (derived from the retired
+            # private key) and every peer's KEK against the retired
+            # public key (unreachable after the directory update, but
+            # they would otherwise accumulate across rotations).
+            for key in [
+                k
+                for k in self._kek_cache
+                if k[0] == principal or k[1] == old_public
+            ]:
+                del self._kek_cache[key]
         self._directory[principal] = pair.public
         self._pairs[principal] = pair
         return pair
@@ -91,7 +127,7 @@ class SimulatedPKI:
         self, sender: str, recipient: str, secret: bytes
     ) -> bytes:
         """Wrap ``secret`` from ``sender`` to ``recipient``."""
-        kek = shared_secret(self._pairs[sender], self._directory[recipient])
+        kek = self._kek(sender, self._directory[recipient])
         iv = hmac.new(
             kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
         ).digest()[:BLOCK_SIZE]
@@ -101,7 +137,7 @@ class SimulatedPKI:
         self, recipient: str, sender: str, wrapped: bytes
     ) -> bytes:
         """Unwrap a secret received from ``sender``."""
-        kek = shared_secret(self._pairs[recipient], self._directory[sender])
+        kek = self._kek(recipient, self._directory[sender])
         iv = hmac.new(
             kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
         ).digest()[:BLOCK_SIZE]

@@ -4,6 +4,22 @@
 for a software cipher on an 8/32-bit smart-card CPU: tiny code, small
 state, cost strictly linear in the number of blocks.  The cycle model
 in :mod:`repro.smartcard.resources` charges per byte accordingly.
+
+Two implementation layers:
+
+* the historical block functions (:func:`xtea_encrypt_block`,
+  :func:`xtea_decrypt_block`) remain the readable reference and the
+  bit-for-bit ground truth the batched paths are tested against;
+* :class:`XTEACipher` is the wall-clock hot path: the key schedule
+  (the 64 per-round ``sum + key[...]`` constants, which depend only on
+  the key) is computed once per key and memoized, and whole buffers of
+  blocks are processed per call.  Multi-block calls run the rounds
+  *bit-sliced across blocks*: each 8-byte block occupies one 64-bit
+  lane of a pair of Python big integers, so one arithmetic operation
+  advances every block at once instead of paying interpreter dispatch
+  per block.  Lane values are 32 bits wide in 64-bit lanes, so adds
+  never carry across lanes and per-lane subtraction is an add of the
+  lane complement.
 """
 
 from __future__ import annotations
@@ -17,6 +33,10 @@ _ROUNDS = 32
 BLOCK_SIZE = 8
 KEY_SIZE = 16
 
+#: Minimum number of blocks before the bit-sliced path beats the
+#: scheduled per-block loop (lane packing has fixed overhead).
+_SWAR_MIN_BLOCKS = 3
+
 
 def _key_schedule(key: bytes) -> tuple[int, int, int, int]:
     if len(key) != KEY_SIZE:
@@ -24,29 +44,281 @@ def _key_schedule(key: bytes) -> tuple[int, int, int, int]:
     return struct.unpack(">4L", key)
 
 
+class _LaneState:
+    """Per-lane-count constants for the bit-sliced paths.
+
+    ``dec``/``enc`` hold the lane-replicated round schedules, built on
+    first use per direction (a cipher that only ever decrypts never
+    pays for the encrypt replication, and vice versa) and cached with
+    the constants so repeated calls share them.
+    """
+
+    __slots__ = ("ones", "mask", "kones", "full", "dec", "enc")
+
+    def __init__(self, count: int) -> None:
+        self.ones = (1 << (64 * count)) // ((1 << 64) - 1)  # 0x0001_0001...
+        self.mask = _MASK * self.ones
+        # Lane-wise subtraction a - b (mod 2^32) is a + (2^32) - b with
+        # the borrow absorbed per lane; fold the 2^32-per-lane constant
+        # into kones once instead of two ops per round.
+        self.kones = self.mask + self.ones
+        self.full = (1 << (64 * count)) - 1
+        self.dec: tuple[tuple[int, int], ...] | None = None
+        self.enc: tuple[tuple[int, int], ...] | None = None
+
+
+class XTEACipher:
+    """A keyed XTEA instance with a precomputed round schedule.
+
+    ``enc_schedule``/``dec_schedule`` hold the 32 ``(sum0, sum1)``
+    pairs consumed by the round loops; they are derived from the key
+    alone, so every block encrypted under this key shares them.
+    Instances are memoized per key via :meth:`for_key` -- the seal,
+    open and key-wrap paths all land on the same object.
+    """
+
+    __slots__ = ("key", "enc_schedule", "dec_schedule", "_lane_cache")
+
+    #: Per-key instance cache (bounded; keys are 16-byte strings).
+    _instances: dict[bytes, "XTEACipher"] = {}
+    _INSTANCE_LIMIT = 256
+
+    def __init__(self, key: bytes) -> None:
+        k = _key_schedule(key)
+        self.key = key
+        enc: list[tuple[int, int]] = []
+        total = 0
+        for _ in range(_ROUNDS):
+            sum0 = (total + k[total & 3]) & _MASK
+            total = (total + _DELTA) & _MASK
+            sum1 = (total + k[(total >> 11) & 3]) & _MASK
+            enc.append((sum0, sum1))
+        self.enc_schedule = tuple(enc)
+        self.dec_schedule = tuple((s1, s0) for s0, s1 in reversed(enc))
+        # lane count -> cached lane constants + replicated schedules
+        self._lane_cache: dict[int, _LaneState] = {}
+
+    @classmethod
+    def for_key(cls, key: bytes) -> "XTEACipher":
+        """The memoized cipher for ``key`` (schedule computed once)."""
+        cipher = cls._instances.get(key)
+        if cipher is None:
+            cipher = cls(key)
+            if len(cls._instances) >= cls._INSTANCE_LIMIT:
+                cls._instances.clear()
+            cls._instances[key] = cipher
+        return cipher
+
+    # -- single block (reference-compatible) ---------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
+        v0, v1 = struct.unpack(">2L", block)
+        for sum0, sum1 in self.enc_schedule:
+            v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ sum0)) & _MASK
+            v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ sum1)) & _MASK
+        return struct.pack(">2L", v0, v1)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
+        v0, v1 = struct.unpack(">2L", block)
+        for sum1, sum0 in self.dec_schedule:
+            v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ sum1)) & _MASK
+            v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ sum0)) & _MASK
+        return struct.pack(">2L", v0, v1)
+
+    # -- lane helpers ---------------------------------------------------------
+
+    def _lanes(self, count: int) -> "_LaneState":
+        """Lane constants for ``count`` lanes (replications built lazily)."""
+        state = self._lane_cache.get(count)
+        if state is None:
+            if len(self._lane_cache) >= 16:
+                self._lane_cache.clear()
+            state = self._lane_cache[count] = _LaneState(count)
+        return state
+
+    def _dec_replicated(self, state: "_LaneState") -> tuple[tuple[int, int], ...]:
+        if state.dec is None:
+            ones = state.ones
+            state.dec = tuple(
+                (sum1 * ones, sum0 * ones) for sum1, sum0 in self.dec_schedule
+            )
+        return state.dec
+
+    def _enc_replicated(self, state: "_LaneState") -> tuple[tuple[int, int], ...]:
+        if state.enc is None:
+            ones = state.ones
+            state.enc = tuple(
+                (sum0 * ones, sum1 * ones) for sum0, sum1 in self.enc_schedule
+            )
+        return state.enc
+
+    @staticmethod
+    def _pack_lanes(words: tuple[int, ...], count: int) -> tuple[int, int]:
+        """Split interleaved (v0, v1) words into two lane integers.
+
+        Lane layout: word ``i`` sits in bits ``64*i..64*i+31`` -- i.e.
+        one 64-bit little-endian slot per 32-bit value, produced by a
+        single C-level pack per integer.
+        """
+        return (
+            int.from_bytes(struct.pack(f"<{count}Q", *words[0::2]), "little"),
+            int.from_bytes(struct.pack(f"<{count}Q", *words[1::2]), "little"),
+        )
+
+    @staticmethod
+    def _unpack_lanes(v0: int, v1: int, count: int) -> bytes:
+        """Interleave two lane integers back into big-endian blocks."""
+        lanes0 = struct.unpack(f"<{count}Q", v0.to_bytes(8 * count, "little"))
+        lanes1 = struct.unpack(f"<{count}Q", v1.to_bytes(8 * count, "little"))
+        interleaved: list[int] = [0] * (2 * count)
+        interleaved[0::2] = lanes0
+        interleaved[1::2] = lanes1
+        return struct.pack(f">{2 * count}L", *interleaved)
+
+    # -- CBC over whole buffers ----------------------------------------------
+
+    def cbc_encrypt_padded(self, padded: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt a block-aligned buffer (padding already applied).
+
+        Chaining makes encryption inherently sequential, so this is the
+        scheduled per-block loop with the XOR done on integers (no
+        per-byte work, no per-block key schedule).
+        """
+        count = len(padded) // BLOCK_SIZE
+        words = struct.unpack(f">{2 * count}L", padded)
+        p0, p1 = struct.unpack(">2L", iv)
+        out = bytearray(len(padded))
+        pack_into = struct.pack_into
+        schedule = self.enc_schedule
+        for index in range(count):
+            v0 = words[2 * index] ^ p0
+            v1 = words[2 * index + 1] ^ p1
+            for sum0, sum1 in schedule:
+                v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ sum0)) & _MASK
+                v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ sum1)) & _MASK
+            p0, p1 = v0, v1
+            pack_into(">2L", out, 8 * index, v0, v1)
+        return bytes(out)
+
+    def cbc_encrypt_many(
+        self, messages: list[tuple[bytes, bytes]]
+    ) -> list[bytes]:
+        """CBC-encrypt independent ``(padded, iv)`` messages together.
+
+        Messages chain internally but not across each other, so the
+        lane dimension is the *message*: CBC step ``j`` encrypts block
+        ``j`` of every equal-length message in one bit-sliced pass.
+        Messages are grouped by block count; each group costs
+        ``blocks`` sequential steps regardless of how many messages it
+        holds.  Output order matches input order.
+        """
+        results: list[bytes | None] = [None] * len(messages)
+        groups: dict[int, list[int]] = {}
+        for position, (padded, iv) in enumerate(messages):
+            if len(padded) % BLOCK_SIZE or not padded:
+                raise ValueError("messages must be padded to block multiples")
+            if len(iv) != BLOCK_SIZE:
+                raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+            groups.setdefault(len(padded) // BLOCK_SIZE, []).append(position)
+        for block_count, positions in groups.items():
+            lanes = len(positions)
+            if lanes < _SWAR_MIN_BLOCKS:
+                for position in positions:
+                    padded, iv = messages[position]
+                    results[position] = self.cbc_encrypt_padded(padded, iv)
+                continue
+            state = self._lanes(lanes)
+            mask = state.mask
+            schedule = self._enc_replicated(state)
+            unpack = struct.unpack
+            words = [unpack(f">{2 * block_count}L", messages[p][0]) for p in positions]
+            ivs = [unpack(">2L", messages[p][1]) for p in positions]
+            prev0, prev1 = self._pack_lanes(
+                tuple(w for iv in ivs for w in iv), lanes
+            )
+            outs = [bytearray(block_count * 8) for _ in positions]
+            for j in range(block_count):
+                interleaved = tuple(
+                    w
+                    for lane_words in words
+                    for w in (lane_words[2 * j], lane_words[2 * j + 1])
+                )
+                x0, x1 = self._pack_lanes(interleaved, lanes)
+                v0 = (x0 ^ prev0) & mask
+                v1 = (x1 ^ prev1) & mask
+                # Shift garbage above bit 31 of a lane cannot reach the
+                # lane's low 32 bits through addition (carries only move
+                # up), so one mask after the add suffices.
+                for r0, r1 in schedule:
+                    t = (((v1 << 4) ^ (v1 >> 5)) + v1) & mask
+                    v0 = (v0 + (t ^ r0)) & mask
+                    t = (((v0 << 4) ^ (v0 >> 5)) + v0) & mask
+                    v1 = (v1 + (t ^ r1)) & mask
+                prev0, prev1 = v0, v1
+                # One 8-byte block per lane, already big-endian.
+                blocks = self._unpack_lanes(v0, v1, lanes)
+                start = 8 * j
+                for lane, out in enumerate(outs):
+                    out[start:start + 8] = blocks[8 * lane:8 * lane + 8]
+            for lane, position in enumerate(positions):
+                results[position] = bytes(outs[lane])
+        return results  # type: ignore[return-value]
+
+    def cbc_decrypt_raw(self, ciphertext: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt a block-aligned buffer; padding left in place.
+
+        Decryption has no chaining dependency (every block decrypts
+        independently, then XORs with the previous *ciphertext* block),
+        so the whole buffer runs bit-sliced: one lane per block, the
+        final chaining XOR done between two big integers.
+        """
+        count = len(ciphertext) // BLOCK_SIZE
+        if count < _SWAR_MIN_BLOCKS:
+            words = struct.unpack(f">{2 * count}L", ciphertext)
+            p0, p1 = struct.unpack(">2L", iv)
+            out = bytearray(len(ciphertext))
+            pack_into = struct.pack_into
+            schedule = self.dec_schedule
+            for index in range(count):
+                c0 = words[2 * index]
+                c1 = words[2 * index + 1]
+                v0, v1 = c0, c1
+                for sum1, sum0 in schedule:
+                    v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ sum1)) & _MASK
+                    v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ sum0)) & _MASK
+                pack_into(">2L", out, 8 * index, v0 ^ p0, v1 ^ p1)
+                p0, p1 = c0, c1
+            return bytes(out)
+        state = self._lanes(count)
+        mask, kones, full = state.mask, state.kones, state.full
+        schedule = self._dec_replicated(state)
+        words = struct.unpack(f">{2 * count}L", ciphertext)
+        c0, c1 = self._pack_lanes(words, count)
+        # Chaining input: IV in lane 0, then each ciphertext block one
+        # lane up -- a single lane-shift of the packed ciphertext.
+        iv0, iv1 = struct.unpack(">2L", iv)
+        prev0 = ((c0 << 64) & full) | iv0
+        prev1 = ((c1 << 64) & full) | iv1
+        v0, v1 = c0, c1
+        # Lane-wise v - t == v + kones - t (no cross-lane borrow); shift
+        # garbage above bit 31 is cleared by the single mask per step.
+        for r1, r0 in schedule:
+            t = (((v0 << 4) ^ (v0 >> 5)) + v0) & mask
+            v1 = (v1 + kones - (t ^ r1)) & mask
+            t = (((v1 << 4) ^ (v1 >> 5)) + v1) & mask
+            v0 = (v0 + kones - (t ^ r0)) & mask
+        return self._unpack_lanes(v0 ^ prev0, v1 ^ prev1, count)
+
+
 def xtea_encrypt_block(block: bytes, key: bytes) -> bytes:
     """Encrypt one 8-byte block."""
-    if len(block) != BLOCK_SIZE:
-        raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
-    k = _key_schedule(key)
-    v0, v1 = struct.unpack(">2L", block)
-    total = 0
-    for _ in range(_ROUNDS):
-        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
-        total = (total + _DELTA) & _MASK
-        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
-    return struct.pack(">2L", v0, v1)
+    return XTEACipher.for_key(key).encrypt_block(block)
 
 
 def xtea_decrypt_block(block: bytes, key: bytes) -> bytes:
     """Decrypt one 8-byte block."""
-    if len(block) != BLOCK_SIZE:
-        raise ValueError(f"XTEA blocks are {BLOCK_SIZE} bytes")
-    k = _key_schedule(key)
-    v0, v1 = struct.unpack(">2L", block)
-    total = (_DELTA * _ROUNDS) & _MASK
-    for _ in range(_ROUNDS):
-        v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & _MASK
-        total = (total - _DELTA) & _MASK
-        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
-    return struct.pack(">2L", v0, v1)
+    return XTEACipher.for_key(key).decrypt_block(block)

@@ -21,12 +21,20 @@ def bitmap_from_ids(ids: frozenset[int] | set[int], universe: int) -> bytes:
     return bytes(out)
 
 
-def ids_from_bitmap(bitmap: bytes, universe: int) -> frozenset[int]:
-    """Unpack a bit array into the set of tag ids."""
-    ids = set()
-    for tag_id in range(universe):
-        if bitmap[tag_id // 8] & (1 << (tag_id % 8)):
-            ids.add(tag_id)
+def ids_from_bitmap(bitmap: "bytes | bytearray | memoryview", universe: int) -> frozenset[int]:
+    """Unpack a bit array into the set of tag ids.
+
+    Runs over the bitmap as one integer, peeling set bits -- cost is
+    proportional to the population count, not the universe size.
+    """
+    value = int.from_bytes(bitmap, "little")
+    if universe % 8:
+        value &= (1 << universe) - 1
+    ids = []
+    while value:
+        low = value & -value
+        ids.append(low.bit_length() - 1)
+        value ^= low
     return frozenset(ids)
 
 
@@ -53,15 +61,29 @@ def encode_relative(child_ids: frozenset[int], parent_ids: frozenset[int]) -> by
 
 
 def decode_relative(
-    data: bytes, offset: int, parent_ids: frozenset[int]
+    data: "bytes | bytearray | memoryview",
+    offset: int,
+    parent_ids: frozenset[int],
+    support: "tuple[int, ...] | None" = None,
 ) -> tuple[frozenset[int], int]:
-    """Decode a parent-relative tag set; return ``(ids, next_offset)``."""
+    """Decode a parent-relative tag set; return ``(ids, next_offset)``.
+
+    ``support`` is the sorted parent id list; callers decoding many
+    children of one parent (the streaming decoder) pass it precomputed
+    so the sort is paid once per parent, not once per child.
+    """
     width = relative_width(parent_ids)
     if offset + width > len(data):
         raise ValueError("truncated relative bitmap")
-    support = sorted(parent_ids)
-    ids = set()
-    for index, tag_id in enumerate(support):
-        if data[offset + index // 8] & (1 << (index % 8)):
-            ids.add(tag_id)
+    if support is None:
+        support = tuple(sorted(parent_ids))
+    value = int.from_bytes(data[offset:offset + width], "little")
+    # Stray padding bits beyond the support are ignored (as the
+    # bit-by-bit decoder did).
+    value &= (1 << len(support)) - 1
+    ids = []
+    while value:
+        low = value & -value
+        ids.append(support[low.bit_length() - 1])
+        value ^= low
     return frozenset(ids), offset + width

@@ -8,6 +8,13 @@ decides, and calls :meth:`SXSDecoder.skip_open_subtree`, after which
 the decoder discards buffered bytes in the region, synthesizes the
 matching close, and reports the absolute ``resume_offset`` so the proxy
 can stop transferring the skipped chunks at all.
+
+The buffer is consumed through a read cursor with amortized compaction
+(no ``del buffer[:n]`` per token) and tokens are decoded directly off
+the live buffer -- the seed copied the entire buffered region once per
+OPEN token.  Varint runs decode in one batched pass per token, and the
+sorted support of a parent's tag set is computed once per parent
+rather than once per child bitmap.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from dataclasses import dataclass
 from repro.skipindex.bitset import decode_relative, ids_from_bitmap
 from repro.skipindex.encoder import IndexMode, MAGIC, OP_CLOSE, OP_OPEN, OP_TEXT
 from repro.skipindex.tagdict import TagDictionary
-from repro.skipindex.varint import decode_bounded, decode_varint, width_for_bound
+from repro.skipindex.varint import decode_varint, width_for_bound
 from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
 
 
@@ -25,7 +32,6 @@ class SXSFormatError(ValueError):
     """Raised on malformed SXS input."""
 
 
-@dataclass(frozen=True, slots=True)
 class DecodedOpen:
     """An element open with its skip metadata.
 
@@ -33,30 +39,55 @@ class DecodedOpen:
     the subtree (``None`` when the stream carries no index);
     ``resume_offset`` is the absolute offset just past the subtree
     (``None`` without an index).
+
+    The ``Decoded*`` wrappers are plain slotted classes, not frozen
+    dataclasses: one is born per stream item on the card's hottest
+    loop, and ``object.__setattr__``-based frozen init costs more than
+    the rest of the dispatch.
     """
 
-    event: OpenEvent
-    tags_inside: frozenset[str] | None
-    content_size: int | None
-    resume_offset: int | None
+    __slots__ = ("event", "tags_inside", "content_size", "resume_offset")
+
+    def __init__(
+        self,
+        event: OpenEvent,
+        tags_inside: frozenset[str] | None,
+        content_size: int | None,
+        resume_offset: int | None,
+    ) -> None:
+        self.event = event
+        self.tags_inside = tags_inside
+        self.content_size = content_size
+        self.resume_offset = resume_offset
 
 
-@dataclass(frozen=True, slots=True)
 class DecodedText:
-    event: ValueEvent
+    __slots__ = ("event",)
+
+    def __init__(self, event: ValueEvent) -> None:
+        self.event = event
 
 
-@dataclass(frozen=True, slots=True)
 class DecodedClose:
-    event: CloseEvent
-    synthetic: bool = False  # True when produced by a skip
+    __slots__ = ("event", "synthetic")
+
+    def __init__(self, event: CloseEvent, synthetic: bool = False) -> None:
+        self.event = event
+        self.synthetic = synthetic  # True when produced by a skip
 
 
 DecodedItem = DecodedOpen | DecodedText | DecodedClose
 
 
 class _OpenFrame:
-    __slots__ = ("tag", "tags_inside", "content_size", "content_start")
+    __slots__ = (
+        "tag",
+        "tags_inside",
+        "content_size",
+        "content_start",
+        "support",
+        "child_width",
+    )
 
     def __init__(
         self,
@@ -69,6 +100,12 @@ class _OpenFrame:
         self.tags_inside = tags_inside
         self.content_size = content_size
         self.content_start = content_start
+        #: Sorted ``tags_inside`` (computed on first child, reused by
+        #: every sibling's relative bitmap).
+        self.support: tuple[int, ...] | None = None
+        #: Byte width of child size fields (derived from content_size
+        #: once per parent instead of once per child).
+        self.child_width: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +118,11 @@ class FrameSnapshot:
     content_start: int
 
 
+#: Consumed-prefix length above which the buffer is compacted (when the
+#: prefix also dominates the buffer, keeping compaction amortized O(1)).
+_COMPACT_THRESHOLD = 1024
+
+
 class SXSDecoder:
     """Incremental SXS reader (see module docstring).
 
@@ -91,7 +133,8 @@ class SXSDecoder:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._buffer_start = 0  # absolute offset of _buffer[0]
+        self._base = 0  # absolute offset of _buffer[0]
+        self._pos = 0  # read cursor into _buffer
         self._mode: IndexMode | None = None
         self.dictionary: TagDictionary | None = None
         self._stack: list[_OpenFrame] = []
@@ -99,13 +142,24 @@ class SXSDecoder:
         self._skip_target: int | None = None
         self._document_done = False
         self.bytes_decoded = 0
+        # Per-tag event memos: events are immutable value objects, so
+        # every </patient> can be the same CloseEvent instance (ditto
+        # attribute-less opens).  The tag universe is the dictionary's.
+        self._close_events: dict[str, CloseEvent] = {}
+        self._plain_opens: dict[str, OpenEvent] = {}
+
+    def _close_event(self, tag: str) -> CloseEvent:
+        event = self._close_events.get(tag)
+        if event is None:
+            event = self._close_events[tag] = CloseEvent(tag)
+        return event
 
     # -- input ----------------------------------------------------------
 
     @property
     def position(self) -> int:
         """Absolute offset of the next byte to decode."""
-        return self._buffer_start
+        return self._base + self._pos
 
     def push(self, data: bytes, offset: int | None = None) -> None:
         """Append plaintext bytes.
@@ -115,9 +169,9 @@ class SXSDecoder:
         begin before the resume offset (chunk alignment) -- the overlap
         is discarded.
         """
+        end = self._base + len(self._buffer)
         if offset is None:
-            offset = self._buffer_start + len(self._buffer)
-        expected = self._buffer_start + len(self._buffer)
+            offset = end
         if self._skip_target is not None and offset <= self._skip_target:
             # Resuming after a skip: drop bytes before the target.
             drop = self._skip_target - offset
@@ -125,44 +179,57 @@ class SXSDecoder:
                 return
             data = data[drop:]
             offset = self._skip_target
-            if not self._buffer:
-                self._buffer_start = offset
+            if self._pos == len(self._buffer):
+                self._buffer.clear()
+                self._pos = 0
+                self._base = offset
             self._skip_target = None
-        elif offset != expected:
+        elif offset != end:
             raise SXSFormatError(
-                f"non-contiguous push: expected offset {expected}, got {offset}"
+                f"non-contiguous push: expected offset {end}, got {offset}"
             )
         self._buffer.extend(data)
 
     def _consume(self, count: int) -> bytes:
-        data = bytes(self._buffer[:count])
-        del self._buffer[:count]
-        self._buffer_start += count
-        self.bytes_decoded += count
+        position = self._pos
+        data = bytes(self._buffer[position:position + count])
+        self._advance(count)
         return data
+
+    def _advance(self, count: int) -> None:
+        """Move the cursor past ``count`` decoded bytes."""
+        position = self._pos + count
+        self._pos = position
+        self.bytes_decoded += count
+        if position >= _COMPACT_THRESHOLD and position * 2 >= len(self._buffer):
+            del self._buffer[:position]
+            self._base += position
+            self._pos = 0
 
     # -- header -----------------------------------------------------------
 
     def _try_parse_header(self) -> bool:
         if self.dictionary is not None:
             return True
-        if len(self._buffer) < len(MAGIC) + 1:
+        if len(self._buffer) - self._pos < len(MAGIC) + 1:
             return False
-        if bytes(self._buffer[: len(MAGIC)]) != MAGIC:
+        start = self._pos
+        buffer = self._buffer
+        if bytes(buffer[start:start + len(MAGIC)]) != MAGIC:
             raise SXSFormatError("bad magic")
         try:
-            mode = IndexMode(self._buffer[len(MAGIC)])
+            mode = IndexMode(buffer[start + len(MAGIC)])
         except ValueError as exc:
             raise SXSFormatError("unknown index mode") from exc
         try:
             dictionary, offset = TagDictionary.decode(
-                bytes(self._buffer), len(MAGIC) + 1
+                bytes(buffer), start + len(MAGIC) + 1
             )
         except ValueError:
             return False  # need more bytes
         self._mode = mode
         self.dictionary = dictionary
-        self._consume(offset)
+        self._advance(offset - start)
         return True
 
     # -- item decoding -------------------------------------------------------
@@ -171,7 +238,7 @@ class SXSDecoder:
         """Decode and return the next item, or ``None`` if starved."""
         if self._pending_close:
             tag = self._pending_close.pop()
-            return DecodedClose(CloseEvent(tag), synthetic=True)
+            return DecodedClose(self._close_event(tag), synthetic=True)
         if self._skip_target is not None:
             return None  # waiting for post-skip bytes
         if not self._try_parse_header():
@@ -183,25 +250,26 @@ class SXSDecoder:
 
     def _try_decode_token(self) -> DecodedItem | None:
         buffer = self._buffer
-        if not buffer:
+        start = self._pos
+        if start >= len(buffer):
             return None
-        opcode = buffer[0]
+        opcode = buffer[start]
         if opcode == OP_CLOSE:
             if not self._stack:
                 raise SXSFormatError("unbalanced CLOSE token")
             frame = self._stack.pop()
-            self._consume(1)
+            self._advance(1)
             if not self._stack:
                 self._document_done = True
-            return DecodedClose(CloseEvent(frame.tag))
+            return DecodedClose(self._close_event(frame.tag))
         if opcode == OP_TEXT:
             try:
-                length, after = decode_varint(buffer, 1)
+                length, after = decode_varint(buffer, start + 1)
             except ValueError:
                 return None
             if len(buffer) < after + length:
                 return None
-            self._consume(after)
+            self._advance(after - start)
             raw = self._consume(length)
             return DecodedText(ValueEvent(raw.decode("utf-8")))
         if opcode == OP_OPEN:
@@ -210,21 +278,38 @@ class SXSDecoder:
 
     def _try_decode_open(self) -> DecodedOpen | None:
         assert self.dictionary is not None and self._mode is not None
-        buffer = bytes(self._buffer)
+        buffer = self._buffer
+        start = self._pos
+        size = len(buffer)
         try:
-            tag_id, offset = decode_varint(buffer, 1)
-            n_attrs, offset = decode_varint(buffer, offset)
+            # Batched field decode off the live buffer: the one-byte
+            # varint case (nearly every tag id and length) is inlined.
+            position = start + 1
+            if position >= size:
+                return None
+            byte = buffer[position]
+            if byte < 0x80:
+                tag_id, offset = byte, position + 1
+            else:
+                tag_id, offset = decode_varint(buffer, position)
+            if offset >= size:
+                return None
+            byte = buffer[offset]
+            if byte < 0x80:
+                n_attrs, offset = byte, offset + 1
+            else:
+                n_attrs, offset = decode_varint(buffer, offset)
             attributes: list[tuple[str, str]] = []
             for _ in range(n_attrs):
                 name_len, offset = decode_varint(buffer, offset)
-                if offset + name_len > len(buffer):
+                if offset + name_len > size:
                     return None
-                name = buffer[offset:offset + name_len].decode("utf-8")
+                name = bytes(buffer[offset:offset + name_len]).decode("utf-8")
                 offset += name_len
                 value_len, offset = decode_varint(buffer, offset)
-                if offset + value_len > len(buffer):
+                if offset + value_len > size:
                     return None
-                value = buffer[offset:offset + value_len].decode("utf-8")
+                value = bytes(buffer[offset:offset + value_len]).decode("utf-8")
                 offset += value_len
                 attributes.append((name, value))
             tags_inside_ids: frozenset[int] | None = None
@@ -232,7 +317,7 @@ class SXSDecoder:
             if self._mode is IndexMode.FLAT:
                 content_size, offset = decode_varint(buffer, offset)
                 width = (len(self.dictionary) + 7) // 8
-                if offset + width > len(buffer):
+                if offset + width > size:
                     return None
                 tags_inside_ids = ids_from_bitmap(
                     buffer[offset:offset + width], len(self.dictionary)
@@ -242,7 +327,7 @@ class SXSDecoder:
                 if not self._stack:
                     content_size, offset = decode_varint(buffer, offset)
                     width = (len(self.dictionary) + 7) // 8
-                    if offset + width > len(buffer):
+                    if offset + width > size:
                         return None
                     tags_inside_ids = ids_from_bitmap(
                         buffer[offset:offset + width], len(self.dictionary)
@@ -252,14 +337,24 @@ class SXSDecoder:
                     parent = self._stack[-1]
                     assert parent.content_size is not None
                     assert parent.tags_inside is not None
-                    bound = (
-                        1 << (8 * width_for_bound(parent.content_size))
-                    ) - 1
-                    content_size, offset = decode_bounded(
-                        buffer, offset, bound
-                    )
+                    width = parent.child_width
+                    if width is None:
+                        width = width_for_bound(parent.content_size)
+                        parent.child_width = width
+                    if offset + width > size:
+                        return None
+                    if width == 1:
+                        content_size = buffer[offset]
+                        offset += 1
+                    else:
+                        content_size = int.from_bytes(
+                            buffer[offset:offset + width], "little"
+                        )
+                        offset += width
+                    if parent.support is None:
+                        parent.support = tuple(sorted(parent.tags_inside))
                     tags_inside_ids, offset = decode_relative(
-                        buffer, offset, parent.tags_inside
+                        buffer, offset, parent.tags_inside, parent.support
                     )
         except ValueError:
             return None  # starved mid-token
@@ -267,10 +362,9 @@ class SXSDecoder:
             tag = self.dictionary.name_of(tag_id)
         except IndexError as exc:
             raise SXSFormatError(f"unknown tag id {tag_id}") from exc
-        self._consume(offset)
-        frame = _OpenFrame(
-            tag, tags_inside_ids, content_size, self._buffer_start
-        )
+        self._advance(offset - start)
+        content_start = self._base + self._pos
+        frame = _OpenFrame(tag, tags_inside_ids, content_size, content_start)
         self._stack.append(frame)
         tags_inside = (
             self.dictionary.ids_to_names(tags_inside_ids)
@@ -278,16 +372,17 @@ class SXSDecoder:
             else None
         )
         resume = (
-            self._buffer_start + content_size
+            content_start + content_size
             if content_size is not None
             else None
         )
-        return DecodedOpen(
-            OpenEvent(tag, tuple(attributes)),
-            tags_inside,
-            content_size,
-            resume,
-        )
+        if attributes:
+            open_event = OpenEvent(tag, tuple(attributes))
+        else:
+            open_event = self._plain_opens.get(tag)
+            if open_event is None:
+                open_event = self._plain_opens[tag] = OpenEvent(tag)
+        return DecodedOpen(open_event, tags_inside, content_size, resume)
 
     # -- skipping ----------------------------------------------------------
 
@@ -304,19 +399,20 @@ class SXSDecoder:
         frame = self._stack.pop()
         if frame.content_size is None:
             raise RuntimeError("stream carries no skip index")
-        if self._buffer_start != frame.content_start:
+        if self._base + self._pos != frame.content_start:
             raise RuntimeError("content already consumed; too late to skip")
         resume = frame.content_start + frame.content_size
-        buffered_end = self._buffer_start + len(self._buffer)
+        buffered_end = self._base + len(self._buffer)
         if resume <= buffered_end:
-            skipped = resume - self._buffer_start
-            self._consume(skipped)
+            skipped = resume - (self._base + self._pos)
+            self._advance(skipped)
             self.bytes_decoded -= skipped  # skipped bytes are not decoded
         else:
             # Bytes in the buffer were never counted as decoded; just
             # drop them and wait for the resume offset.
             self._buffer.clear()
-            self._buffer_start = resume
+            self._pos = 0
+            self._base = resume
             self._skip_target = resume
         self._pending_close.append(frame.tag)
         if not self._stack:
@@ -359,7 +455,7 @@ class SXSDecoder:
         decoder._stack.append(
             _OpenFrame(tag, tags_inside_ids, content_size, content_start)
         )
-        decoder._buffer_start = content_start
+        decoder._base = content_start
         decoder._skip_target = content_start  # trims pre-region chunk bytes
         return decoder
 
@@ -372,7 +468,7 @@ class SXSDecoder:
         """Absolute offset of the first byte the decoder still needs."""
         if self._skip_target is not None:
             return self._skip_target
-        return self._buffer_start + len(self._buffer)
+        return self._base + len(self._buffer)
 
     @property
     def document_done(self) -> bool:

@@ -26,6 +26,9 @@ class TagDictionary:
     def __init__(self, names: Iterable[str] = ()) -> None:
         self._names: list[str] = []
         self._ids: dict[str, int] = {}
+        # id-set -> name-set memo: sibling subtrees repeat the same tag
+        # sets, so the streaming decoder resolves each distinct set once.
+        self._sets: dict[frozenset[int], frozenset[str]] = {}
         for name in names:
             self.intern(name)
 
@@ -46,6 +49,7 @@ class TagDictionary:
         tag_id = len(self._names)
         self._names.append(name)
         self._ids[name] = tag_id
+        self._sets.clear()  # ids shifted into existence; drop stale memo
         return tag_id
 
     def id_of(self, name: str) -> int:
@@ -57,6 +61,12 @@ class TagDictionary:
         return self._names[tag_id]
 
     def ids_to_names(self, ids: Iterable[int]) -> frozenset[str]:
+        if isinstance(ids, frozenset):
+            cached = self._sets.get(ids)
+            if cached is None:
+                cached = frozenset(self._names[i] for i in ids)
+                self._sets[ids] = cached
+            return cached
         return frozenset(self._names[i] for i in ids)
 
     # -- serialization ---------------------------------------------------

@@ -25,13 +25,25 @@ def encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
-    """Decode a LEB128 integer; return ``(value, next_offset)``."""
-    result = 0
-    shift = 0
-    position = offset
+def decode_varint(data: "bytes | bytearray | memoryview", offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer; return ``(value, next_offset)``.
+
+    ``data`` may be any byte-indexable buffer (the streaming decoder
+    passes its live buffer instead of copying it).  The single-byte
+    case -- the overwhelming majority of the stream's tag ids, lengths
+    and attribute counts -- returns before any loop state is set up.
+    """
+    size = len(data)
+    if offset >= size:
+        raise ValueError("truncated varint")
+    byte = data[offset]
+    if byte < 0x80:
+        return byte, offset + 1
+    result = byte & 0x7F
+    shift = 7
+    position = offset + 1
     while True:
-        if position >= len(data):
+        if position >= size:
             raise ValueError("truncated varint")
         byte = data[position]
         position += 1

@@ -72,10 +72,10 @@ class CommandAPDU:
     def __post_init__(self) -> None:
         if len(self.data) > 255:
             raise ValueError("short-form APDU data exceeds 255 bytes")
-        for name in ("p1", "p2", "cla"):
-            value = getattr(self, name)
-            if not 0 <= value <= 0xFF:
-                raise ValueError(f"{name} out of byte range")
+        if not (0 <= self.p1 <= 0xFF and 0 <= self.p2 <= 0xFF and 0 <= self.cla <= 0xFF):
+            for name in ("p1", "p2", "cla"):
+                if not 0 <= getattr(self, name) <= 0xFF:
+                    raise ValueError(f"{name} out of byte range")
 
     @property
     def wire_size(self) -> int:
@@ -102,6 +102,11 @@ class ResponseAPDU:
     def wire_size(self) -> int:
         """Bytes on the wire: data + SW1 SW2."""
         return len(self.data) + 2
+
+
+#: Shared bare-OK response -- the answer to every PUT-style command,
+#: allocated once (responses are immutable value objects).
+RESPONSE_OK = ResponseAPDU(StatusWord.OK)
 
 
 def split_payload(data: bytes, limit: int = 255) -> list[bytes]:

@@ -125,6 +125,15 @@ class CardApplet:
         self.soe = soe
         self.default_strategy = strategy
         self.view_mode = view_mode
+        # Per-item engine-charge constants, read once (the cost model
+        # is frozen for the card's lifetime).
+        cost = soe.cost
+        self._engine_costs = (
+            cost.cycles_per_event,
+            cost.cycles_per_token_check,
+            cost.cycles_per_token_advance,
+            cost.cycles_per_condition,
+        )
         # The compiled-automata store: rules are compiled once when
         # first seen (the paper compiles on rule upload) and reused by
         # every later session with the same policy.  It survives
@@ -331,12 +340,12 @@ class CardApplet:
     def _charge_engine_work(self, controller: AccessController) -> None:
         stats = controller.stats
         events, checks, advances, conditions = self._stats_snapshot
-        cost = self.soe.cost
+        per_event, per_check, per_advance, per_condition = self._engine_costs
         self.soe.charge_cycles(
-            (stats.events - events) * cost.cycles_per_event
-            + (stats.token_checks - checks) * cost.cycles_per_token_check
-            + (stats.token_advances - advances) * cost.cycles_per_token_advance
-            + (stats.conditions_created - conditions) * cost.cycles_per_condition
+            (stats.events - events) * per_event
+            + (stats.token_checks - checks) * per_check
+            + (stats.token_advances - advances) * per_advance
+            + (stats.conditions_created - conditions) * per_condition
         )
         self._stats_snapshot = (
             stats.events,
@@ -354,15 +363,23 @@ class CardApplet:
         self._output.extend(text)
 
     def _pump(self, controller: AccessController, decoder: SXSDecoder) -> None:
-        """Drain every decodable item through the evaluator."""
-        while (item := decoder.next_item()) is not None:
-            self._track_decoder_ram(decoder.depth)
-            if isinstance(item, DecodedOpen):
-                self._emit(controller.feed(item.event))
+        """Drain every decodable item through the evaluator.
+
+        Bound methods are hoisted out of the per-item loop; the
+        charge/emit cadence is exactly the seed's (one engine-work
+        charge per item), keeping clock totals bit-identical.
+        """
+        next_item = decoder.next_item
+        track = self._track_decoder_ram
+        feed = controller.feed
+        emit = self._emit
+        charge = self._charge_engine_work
+        while (item := next_item()) is not None:
+            track(decoder.depth)
+            emit(feed(item.event))
+            if type(item) is DecodedOpen:
                 self._maybe_skip(controller, decoder, item)
-            else:
-                self._emit(controller.feed(item.event))
-            self._charge_engine_work(controller)
+            charge(controller)
         self.soe.charge_decode(decoder.bytes_decoded - self._decoder_charged)
         self._decoder_charged = decoder.bytes_decoded
 

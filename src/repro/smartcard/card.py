@@ -17,6 +17,7 @@ from repro.crypto.container import DocumentHeader, IntegrityError
 from repro.smartcard.apdu import (
     BATCH_FINAL,
     BATCH_SUMMARY,
+    RESPONSE_OK,
     BatchAssembler,
     CommandAPDU,
     Instruction,
@@ -141,31 +142,35 @@ class SmartCard:
         self._batch.reset()
         self._batch_open = False
 
+    #: Instruction -> unbound handler, built once (the dispatcher used
+    #: to rebuild this mapping per APDU).
+    _HANDLERS: "dict[Instruction, str]" = {
+        Instruction.BEGIN_SESSION: "_begin_session",
+        Instruction.PUT_HEADER: "_put_header",
+        Instruction.PUT_RULES: "_put_rule",
+        Instruction.PUT_CHUNK: "_put_chunk",
+        Instruction.PUT_CHUNK_BATCH: "_put_chunk_batch",
+        Instruction.END_DOCUMENT: "_end_document",
+        Instruction.GET_OUTPUT: "_get_output",
+        Instruction.BEGIN_REFETCH: "_begin_refetch",
+        Instruction.PUT_REFETCH_CHUNK: "_put_refetch_chunk",
+        Instruction.ADMIN_PROVISION_KEY: "_provision_key",
+        Instruction.SC_OPEN: "_sc_open",
+        Instruction.SC_ADMIN: "_sc_admin",
+        Instruction.GET_STATUS: "_get_status",
+    }
+
     def _dispatch(self, command: CommandAPDU) -> ResponseAPDU:
         ins = command.ins
         if ins == Instruction.SELECT:
             self._selected = True
-            return ResponseAPDU(StatusWord.OK)
+            return RESPONSE_OK
         if not self._selected:
             return ResponseAPDU(StatusWord.CONDITIONS_NOT_SATISFIED)
-        handler = {
-            Instruction.BEGIN_SESSION: self._begin_session,
-            Instruction.PUT_HEADER: self._put_header,
-            Instruction.PUT_RULES: self._put_rule,
-            Instruction.PUT_CHUNK: self._put_chunk,
-            Instruction.PUT_CHUNK_BATCH: self._put_chunk_batch,
-            Instruction.END_DOCUMENT: self._end_document,
-            Instruction.GET_OUTPUT: self._get_output,
-            Instruction.BEGIN_REFETCH: self._begin_refetch,
-            Instruction.PUT_REFETCH_CHUNK: self._put_refetch_chunk,
-            Instruction.ADMIN_PROVISION_KEY: self._provision_key,
-            Instruction.SC_OPEN: self._sc_open,
-            Instruction.SC_ADMIN: self._sc_admin,
-            Instruction.GET_STATUS: self._get_status,
-        }.get(ins)
-        if handler is None:
+        name = self._HANDLERS.get(ins)
+        if name is None:
             return ResponseAPDU(StatusWord.INS_NOT_SUPPORTED)
-        return handler(command)
+        return getattr(self, name)(command)
 
     # -- handlers ---------------------------------------------------------------
 
@@ -210,17 +215,17 @@ class SmartCard:
             strategy=strategy,
             groups=frozenset(groups),
         )
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _put_header(self, command: CommandAPDU) -> ResponseAPDU:
         self.applet.put_header(decode_header(command.data))
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _put_rule(self, command: CommandAPDU) -> ResponseAPDU:
         index = (command.p1 << 8) | command.p2
         version = struct.unpack(">Q", command.data[:8])[0]
         self.applet.put_rule_record(index, version, command.data[8:])
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _chunk_response(self, result) -> ResponseAPDU:
         payload = struct.pack(">QB", result.next_offset, int(result.document_done))
@@ -255,7 +260,7 @@ class SmartCard:
         for index, blob in self._batch.feed(command.data):
             self.applet.put_batch_member(index, blob)
         if not command.p1 & BATCH_FINAL:
-            return ResponseAPDU(StatusWord.OK)
+            return RESPONSE_OK
         if self._batch.residue:
             self._abort_batch()
             return ResponseAPDU(StatusWord.WRONG_DATA)
@@ -302,7 +307,7 @@ class SmartCard:
     def _begin_refetch(self, command: CommandAPDU) -> ResponseAPDU:
         entry_id = (command.p1 << 8) | command.p2
         self.applet.begin_refetch(entry_id)
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _put_refetch_chunk(self, command: CommandAPDU) -> ResponseAPDU:
         index = (command.p1 << 8) | command.p2
@@ -318,7 +323,7 @@ class SmartCard:
         doc_id = command.data[1:1 + doc_len].decode("utf-8")
         secret = command.data[1 + doc_len:]
         self.soe.provision_key(doc_id, secret)
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _sc_open(self, command: CommandAPDU) -> ResponseAPDU:
         if self._secure_channel is None:
@@ -342,7 +347,7 @@ class SmartCard:
             self.soe.revoke_key(doc_id)
         else:
             return ResponseAPDU(StatusWord.WRONG_DATA)
-        return ResponseAPDU(StatusWord.OK)
+        return RESPONSE_OK
 
     def _get_status(self, command: CommandAPDU) -> ResponseAPDU:
         payload = struct.pack(

@@ -74,7 +74,10 @@ class SimClock:
     def add(self, component: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("time cannot run backwards")
-        self._seconds[component] = self._seconds.get(component, 0.0) + seconds
+        try:
+            self._seconds[component] += seconds
+        except KeyError:
+            self._seconds[component] = seconds
 
     def component(self, name: str) -> float:
         return self._seconds.get(name, 0.0)

@@ -14,18 +14,28 @@ Supported XML subset (sufficient for the paper's data model):
 * CDATA sections, comments, processing instructions and a DOCTYPE
   declaration (the last three are skipped),
 * no namespace processing (``:`` is treated as a plain name character).
+
+Scanning is find/regex-based rather than character-at-a-time: names,
+text runs, whitespace and markup delimiters are located with
+:meth:`str.find` and compiled patterns (one C-level scan per token),
+and the buffer is consumed through a read cursor with batched chunk
+joins, so total buffering cost stays linear in the input even when a
+single token spans many chunks.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, Iterator
 
 from repro.xmlstream.escape import resolve_entity
 from repro.xmlstream.events import CloseEvent, Event, OpenEvent, ValueEvent
 
-_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
-_NAME_CHARS = _NAME_START | set("0123456789.-")
-_WHITESPACE = set(" \t\r\n")
+#: Name production of the supported subset: ``:`` is a plain name
+#: character, no Unicode classes (workload documents are ASCII).
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*")
+#: First non-whitespace character (whitespace per the XML subset).
+_NON_WS_RE = re.compile(r"[^ \t\r\n]")
 
 
 class XMLSyntaxError(ValueError):
@@ -39,14 +49,19 @@ class XMLSyntaxError(ValueError):
 class _Scanner:
     """Buffered scanner over an iterator of text chunks.
 
-    Grows its buffer on demand and discards consumed prefixes, so memory
-    use is bounded by the largest single token.
+    The buffer is consumed through ``_pos`` (no per-take prefix
+    slicing); incoming chunks are merged with one ``join`` per refill
+    instead of repeated ``+=``, so memory traffic is bounded by the
+    input length plus the largest single token.
     """
+
+    __slots__ = ("_chunks", "_buffer", "_pos", "_consumed", "_eof")
 
     def __init__(self, chunks: Iterable[str]) -> None:
         self._chunks = iter(chunks)
         self._buffer = ""
-        self._consumed = 0  # total characters discarded so far
+        self._pos = 0  # index of the next unconsumed character
+        self._consumed = 0  # absolute offset of _buffer[_pos]
         self._eof = False
 
     @property
@@ -54,80 +69,151 @@ class _Scanner:
         """Absolute offset of the scanner position in the input."""
         return self._consumed
 
-    def _pull(self) -> bool:
-        """Append one more chunk to the buffer; return False at EOF."""
+    def _fill(self, length: int) -> bool:
+        """Make ``length`` unconsumed characters available, or hit EOF."""
+        available = len(self._buffer) - self._pos
+        if available >= length:
+            return True
         if self._eof:
             return False
-        try:
-            self._buffer += next(self._chunks)
-            return True
-        except StopIteration:
-            self._eof = True
-            return False
-
-    def ensure(self, length: int) -> bool:
-        """Ensure at least ``length`` characters are buffered."""
-        while len(self._buffer) < length:
-            if not self._pull():
-                return False
-        return True
+        parts = [self._buffer[self._pos:]] if available else []
+        while available < length:
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._eof = True
+                break
+            parts.append(chunk)
+            available += len(chunk)
+        self._buffer = "".join(parts)
+        self._pos = 0
+        return available >= length
 
     def peek(self, index: int = 0) -> str:
         """Return the character at ``index`` or '' at EOF."""
-        if not self.ensure(index + 1):
+        if not self._fill(index + 1):
             return ""
-        return self._buffer[index]
+        return self._buffer[self._pos + index]
 
     def startswith(self, prefix: str) -> bool:
-        if not self.ensure(len(prefix)):
+        if not self._fill(len(prefix)):
             return False
-        return self._buffer.startswith(prefix)
+        return self._buffer.startswith(prefix, self._pos)
 
     def take(self, count: int) -> str:
         """Consume and return exactly ``count`` characters."""
-        if not self.ensure(count):
+        if not self._fill(count):
             raise XMLSyntaxError("unexpected end of input", self.offset)
-        text, self._buffer = self._buffer[:count], self._buffer[count:]
+        position = self._pos
+        text = self._buffer[position:position + count]
+        self._pos = position + count
         self._consumed += count
         return text
 
     def take_until(self, marker: str, *, error: str) -> str:
         """Consume text up to ``marker`` and the marker itself.
 
-        Returns the text before the marker.
+        Returns the text before the marker.  When the marker is not yet
+        buffered, chunks are scanned as they arrive (searching only the
+        boundary overlap plus the new chunk), so cost is linear in the
+        bytes consumed rather than quadratic in the token length.
         """
-        start = 0
+        index = self._buffer.find(marker, self._pos)
+        if index >= 0:
+            text = self._buffer[self._pos:index]
+            self._pos = index + len(marker)
+            self._consumed += len(text) + len(marker)
+            return text
+        overlap = len(marker) - 1
+        parts = [self._buffer[self._pos:]]
+        total = len(parts[0])
+        # ``tail`` rolls the last overlap characters of everything
+        # accumulated so far, so a marker split across any number of
+        # tiny chunks is still found.
+        tail = parts[0][-overlap:] if overlap else ""
         while True:
-            index = self._buffer.find(marker, start)
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._eof = True
+                raise XMLSyntaxError(error, self.offset) from None
+            probe = tail + chunk
+            hit = probe.find(marker)
+            if hit >= 0:
+                start = total - len(tail) + hit  # marker start, accumulated
+                parts.append(chunk)
+                whole = "".join(parts)
+                self._buffer = whole[start + len(marker):]
+                self._pos = 0
+                self._consumed += start + len(marker)
+                return whole[:start]
+            parts.append(chunk)
+            total += len(chunk)
+            if overlap:
+                tail = probe[-overlap:]
+
+    def take_name(self) -> str:
+        """Consume one XML name (find-based, spanning chunk boundaries)."""
+        if not self._fill(1):
+            raise XMLSyntaxError("expected a name, found ''", self.offset)
+        while True:
+            match = _NAME_RE.match(self._buffer, self._pos)
+            if match is None:
+                found = self._buffer[self._pos]
+                raise XMLSyntaxError(
+                    f"expected a name, found {found!r}", self.offset
+                )
+            end = match.end()
+            if end < len(self._buffer) or self._eof:
+                break
+            # The name may continue into the next chunk: refill, then
+            # rematch from the top -- _fill compacts the buffer (moving
+            # the cursor), so pre-refill coordinates are always stale.
+            self._fill(len(self._buffer) - self._pos + 1)
+        name = self._buffer[self._pos:end]
+        self._consumed += end - self._pos
+        self._pos = end
+        return name
+
+    def take_text(self) -> str:
+        """Consume raw text up to (excluding) the next ``<`` or EOF."""
+        if not self._fill(1):
+            return ""
+        parts: list[str] = []
+        while True:
+            index = self._buffer.find("<", self._pos)
             if index >= 0:
-                text = self._buffer[:index]
-                self._buffer = self._buffer[index + len(marker):]
-                self._consumed += index + len(marker)
-                return text
-            start = max(0, len(self._buffer) - len(marker) + 1)
-            if not self._pull():
-                raise XMLSyntaxError(error, self.offset)
+                parts.append(self._buffer[self._pos:index])
+                self._consumed += index - self._pos
+                self._pos = index
+                break
+            parts.append(self._buffer[self._pos:])
+            self._consumed += len(self._buffer) - self._pos
+            self._buffer = ""
+            self._pos = 0
+            if not self._fill(1):
+                break
+        return "".join(parts)
 
     def skip_whitespace(self) -> None:
         while True:
-            stripped = self._buffer.lstrip(" \t\r\n")
-            self._consumed += len(self._buffer) - len(stripped)
-            self._buffer = stripped
-            if self._buffer or not self._pull():
+            match = _NON_WS_RE.search(self._buffer, self._pos)
+            if match is not None:
+                self._consumed += match.start() - self._pos
+                self._pos = match.start()
+                return
+            self._consumed += len(self._buffer) - self._pos
+            self._buffer = ""
+            self._pos = 0
+            if not self._fill(1):
                 return
 
     def at_eof(self) -> bool:
-        return not self.ensure(1)
+        return not self._fill(1)
 
 
 def _read_name(scanner: _Scanner) -> str:
-    first = scanner.peek()
-    if first not in _NAME_START:
-        raise XMLSyntaxError(f"expected a name, found {first!r}", scanner.offset)
-    length = 1
-    while scanner.peek(length) in _NAME_CHARS and scanner.peek(length):
-        length += 1
-    return scanner.take(length)
+    return scanner.take_name()
 
 
 def _decode_entities(text: str, offset: int) -> str:
@@ -175,7 +261,7 @@ def _read_attributes(
             return tuple(attributes), True
         if not char:
             raise XMLSyntaxError("unexpected end of tag", scanner.offset)
-        name = _read_name(scanner)
+        name = scanner.take_name()
         scanner.skip_whitespace()
         if scanner.peek() != "=":
             raise XMLSyntaxError(
@@ -230,7 +316,7 @@ def parse_events(
             break
         if scanner.peek() != "<":
             text_offset = scanner.offset
-            raw = _take_text(scanner)
+            raw = scanner.take_text()
             pending_text.append(_decode_entities(raw, text_offset))
             continue
         # Markup.
@@ -255,7 +341,7 @@ def parse_events(
             continue
         if scanner.startswith("</"):
             scanner.take(2)
-            name = _read_name(scanner)
+            name = scanner.take_name()
             scanner.skip_whitespace()
             if scanner.peek() != ">":
                 raise XMLSyntaxError("malformed closing tag", scanner.offset)
@@ -274,7 +360,7 @@ def parse_events(
             yield CloseEvent(name)
             continue
         scanner.take(1)  # '<'
-        name = _read_name(scanner)
+        name = scanner.take_name()
         attributes, self_closing = _read_attributes(scanner)
         if depth == 0 and seen_root:
             raise XMLSyntaxError("multiple root elements", scanner.offset)
@@ -291,16 +377,6 @@ def parse_events(
         raise XMLSyntaxError("unclosed elements at end of input", scanner.offset)
     if not seen_root:
         raise XMLSyntaxError("document has no root element", scanner.offset)
-
-
-def _take_text(scanner: _Scanner) -> str:
-    """Consume raw text up to (excluding) the next ``<`` or EOF."""
-    length = 0
-    while True:
-        char = scanner.peek(length)
-        if not char or char == "<":
-            return scanner.take(length)
-        length += 1
 
 
 def parse_string(text: str, *, keep_whitespace: bool = False) -> list[Event]:

@@ -32,6 +32,8 @@ def write_events(
 
 
 def _open_tag_text(event: OpenEvent) -> str:
+    if not event.attributes:
+        return f"<{event.tag}>"
     parts = ["<", event.tag]
     for name, value in event.attributes:
         parts.append(f' {name}="{escape_attribute(value)}"')
@@ -102,5 +104,24 @@ def _write_pretty(events: Iterable[Event], indent: str) -> Iterator[str]:
 
 
 def write_string(events: Iterable[Event], *, indent: str | None = None) -> str:
-    """Serialize ``events`` to a single string."""
-    return "".join(write_events(events, indent=indent))
+    """Serialize ``events`` to a single string.
+
+    The compact form is built with an explicit loop (the applet calls
+    this once per released output batch, usually with a handful of
+    events -- generator dispatch would double the per-event cost).
+    """
+    if indent is not None:
+        return "".join(write_events(events, indent=indent))
+    parts: list[str] = []
+    append = parts.append
+    for event in events:
+        cls = type(event)
+        if cls is OpenEvent:
+            append(_open_tag_text(event))
+        elif cls is ValueEvent:
+            append(escape_text(event.text))
+        elif cls is CloseEvent:
+            append(f"</{event.tag}>")
+        else:
+            append("".join(_write_compact((event,))))
+    return "".join(parts)

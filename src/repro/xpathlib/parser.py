@@ -147,9 +147,22 @@ class _Parser:
         return predicate
 
 
+#: Parse memo: paths are immutable value objects, and the same rule
+#: texts are re-parsed on every card session (one per rule record), so
+#: lexing+parsing is paid once per distinct expression.
+_PARSE_CACHE: dict[str, Path] = {}
+_PARSE_CACHE_LIMIT = 1024
+
+
 def parse_path(text: str) -> Path:
     """Parse ``text`` into a :class:`~repro.xpathlib.ast.Path`.
 
     Raises :class:`XPathSyntaxError` outside the fragment.
     """
-    return _Parser(text).parse()
+    path = _PARSE_CACHE.get(text)
+    if path is None:
+        path = _Parser(text).parse()
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = path
+    return path

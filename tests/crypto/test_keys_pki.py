@@ -89,3 +89,20 @@ def test_pki_wrong_recipient_cannot_unwrap():
 def test_enrollment_is_deterministic_per_principal():
     pki_a, pki_b = SimulatedPKI(), SimulatedPKI()
     assert pki_a.enroll("x").public == pki_b.enroll("x").public
+
+
+def test_reenroll_invalidates_cached_keks():
+    """Key rotation must not reuse KEKs derived from the old private key."""
+    from repro.crypto.pki import SimulatedPKI
+
+    pki = SimulatedPKI()
+    pki.enroll("alice")
+    pki.enroll("bob")
+    secret = bytes(range(16))
+    wrapped = pki.wrap_secret("alice", "bob", secret)
+    # Warm both directions of the KEK cache.
+    assert pki.unwrap_secret("bob", "alice", wrapped) == secret
+    # Rotate bob's key pair; alice re-wraps against the new public key.
+    pki.enroll("bob", seed=b"rotated")
+    rewrapped = pki.wrap_secret("alice", "bob", secret)
+    assert pki.unwrap_secret("bob", "alice", rewrapped) == secret
