@@ -14,12 +14,8 @@ Run with::
 """
 
 from repro.baselines.static_encryption import StaticEncryptionScheme
+from repro.community import Community
 from repro.core.rules import AccessRule, RuleSet
-from repro.crypto.pki import SimulatedPKI
-from repro.dsp.server import DSPServer
-from repro.dsp.store import DSPStore
-from repro.terminal.api import Publisher
-from repro.terminal.session import Terminal
 from repro.workloads.docgen import agenda
 from repro.workloads.rulegen import agenda_rules
 from repro.xmlstream.tree import tree_to_events
@@ -28,30 +24,30 @@ MEMBERS = ["alice", "bruno", "carla", "deng"]
 
 
 def main() -> None:
-    pki = SimulatedPKI()
-    pki.enroll("owner")
-    for member in MEMBERS:
-        pki.enroll(member)
-    dsp = DSPServer(DSPStore())
-    publisher = Publisher("owner", dsp.store, pki)
+    community = Community()
+    owner = community.enroll("owner")
+    members = [community.enroll(name) for name in MEMBERS]
 
     root = agenda(n_members=4, events_per_member=5)
     rules = agenda_rules(MEMBERS)
-    receipt = publisher.publish(
-        "agenda", list(tree_to_events(root)), rules, MEMBERS
+    shared = owner.publish(
+        tree_to_events(root), rules, to=members, doc_id="agenda"
     )
+    receipt = shared.receipt
     print(f"agenda published: {receipt.document_bytes_encrypted} B of "
           f"ciphertext, {len(rules)} rules, {receipt.keys_distributed} keys")
     print()
 
     print("--- initial policy: members see events, private parts stay home")
-    for member in MEMBERS[:2]:
-        terminal = Terminal(member, dsp, pki)
-        result, metrics = terminal.query("agenda", owner="owner")
-        own_private = result.xml.count("personal notes")
-        print(f"  {member:6s}: view {len(result.xml):5d} chars, "
+    for member in members[:2]:
+        with member.open(shared) as session:
+            stream = session.query()
+            view = stream.text()
+            clock_total = stream.metrics.clock.total()
+        own_private = view.count("personal notes")
+        print(f"  {member.name:6s}: view {len(view):5d} chars, "
               f"private notes visible: {own_private}, "
-              f"simulated session time {metrics.clock.total():.2f} s")
+              f"simulated session time {clock_total:.2f} s")
     print()
 
     # The community evolves: bruno left the project -- he keeps seeing
@@ -64,7 +60,7 @@ def main() -> None:
             AccessRule.parse("+", "bruno", "//event/date", rule_id="X1"),
         ]
     )
-    receipt = publisher.update_rules("agenda", new_rules)
+    receipt = shared.update_rules(new_rules)
     print(f"  our engine     : {receipt.document_bytes_encrypted} document bytes "
           f"re-encrypted, {receipt.rule_bytes_encrypted} rule bytes resealed, "
           f"{receipt.keys_distributed} keys redistributed")
@@ -76,10 +72,12 @@ def main() -> None:
           f"({churn.classes_before} -> {churn.classes_after} classes)")
     print()
 
-    result, __ = Terminal("bruno", dsp, pki).query("agenda", owner="owner")
+    bruno = community.member("bruno")
+    with bruno.open(shared) as session:
+        view = session.query().text()
     print("bruno's restricted view now:")
-    print("  participants visible:", "<participant>" in result.xml)
-    print("  titles visible      :", "<title>" in result.xml)
+    print("  participants visible:", "<participant>" in view)
+    print("  titles visible      :", "<title>" in view)
 
 
 if __name__ == "__main__":

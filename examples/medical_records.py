@@ -3,20 +3,17 @@
 "the exchange of medical information is traditionally ruled by
 predefined sharing policies, [but] these rules may suffer exceptions in
 particular situations (e.g., in case of emergency) and may evolve over
-time" (Section 1).  Four roles query the same encrypted hospital file;
-then an emergency exception is granted in one rule update.
+time" (Section 1).  One staff card queries the same encrypted hospital
+file under four roles (carried as groups); then an emergency exception
+is granted in one rule update -- no re-encryption, no key churn.
 
 Run with::
 
     python examples/medical_records.py
 """
 
+from repro.community import Community
 from repro.core.rules import AccessRule, RuleSet
-from repro.crypto.pki import SimulatedPKI
-from repro.dsp.server import DSPServer
-from repro.dsp.store import DSPStore
-from repro.terminal.api import Publisher
-from repro.terminal.session import Terminal
 from repro.workloads.docgen import hospital
 from repro.workloads.rulegen import hospital_rules
 from repro.xmlstream.tree import tree_to_events
@@ -25,40 +22,35 @@ ROLES = ("doctor", "nurse", "accountant", "researcher")
 
 
 def main() -> None:
-    pki = SimulatedPKI()
-    pki.enroll("hospital-admin")
-    pki.enroll("staff-card")
-    dsp = DSPServer(DSPStore())
-    publisher = Publisher("hospital-admin", dsp.store, pki)
+    community = Community()
+    admin = community.enroll("hospital-admin")
+    staff = community.enroll("staff-card")
 
     root = hospital(n_patients=12, episodes_per_patient=3)
     rules = hospital_rules()
-    publisher.publish(
-        "records", list(tree_to_events(root)), rules, ["staff-card"]
+    records = admin.publish(
+        tree_to_events(root), rules, to=[staff], doc_id="records"
     )
 
     print("role-specific views of the same encrypted file:")
     print(f"{'role':11s} {'view chars':>10s} {'decrypted B':>11s} "
           f"{'skipped B':>9s} {'RAM B':>6s} {'sim time':>8s}")
     for role in ROLES:
-        terminal = Terminal("staff-card", dsp, pki)
-        result, metrics = terminal.query(
-            "records", owner="hospital-admin", subject=role
-        )
-        print(f"{role:11s} {len(result.xml):10d} {metrics.bytes_decrypted:11d} "
+        # The card carries the member's identity; the role rides along
+        # as a group, so rules written for the role apply.
+        with staff.open(records, groups=frozenset({role})) as session:
+            stream = session.query()
+            view = stream.text()
+            metrics = stream.metrics
+        print(f"{role:11s} {len(view):10d} {metrics.bytes_decrypted:11d} "
               f"{metrics.bytes_skipped:9d} {metrics.ram_high_water:6d} "
               f"{metrics.clock.total():7.2f}s")
     print()
 
     print("targeted query -- the nurse asks for one patient's drugs:")
-    terminal = Terminal("staff-card", dsp, pki)
-    result, __ = terminal.query(
-        "records",
-        query="//prescription/drug",
-        owner="hospital-admin",
-        subject="nurse",
-    )
-    print(" ", result.xml[:200], "..." if len(result.xml) > 200 else "")
+    with staff.open(records, groups=frozenset({"nurse"})) as session:
+        view = session.query("//prescription/drug").text()
+    print(" ", view[:200], "..." if len(view) > 200 else "")
     print()
 
     print("emergency exception: the doctor may read psychiatric episodes")
@@ -66,14 +58,13 @@ def main() -> None:
         [rule for rule in rules if rule.rule_id != "H1"]  # drop the deny
         + [AccessRule.parse("+", "doctor", "//psychiatric", rule_id="EMG")]
     )
-    receipt = publisher.update_rules("records", emergency)
+    receipt = records.update_rules(emergency)
     print(f"  rule update cost: {receipt.rule_bytes_encrypted} B of rules, "
           f"{receipt.document_bytes_encrypted} B of document")
-    result, __ = Terminal("staff-card", dsp, pki).query(
-        "records", owner="hospital-admin", subject="doctor"
-    )
+    with staff.open(records, groups=frozenset({"doctor"})) as session:
+        view = session.query().text()
     print("  psychiatric now visible to the doctor:",
-          "<psychiatric>" in result.xml)
+          "<psychiatric>" in view)
 
 
 if __name__ == "__main__":

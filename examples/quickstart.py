@@ -2,20 +2,16 @@
 
 Part 1 runs the streaming access-control engine in memory (the Figure 2
 rule ``⊕, //b[c]/d``); part 2 runs the same evaluation through the full
-architecture of Figure 1 -- encrypted document at the DSP, evaluation
-inside the simulated smart card, authorized view back at the terminal.
+architecture of Figure 1 via the :mod:`repro.community` facade --
+encrypted document at the DSP, evaluation inside the simulated smart
+card, authorized view streaming back at the terminal.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import AccessRule, RuleSet, authorized_view
-from repro.crypto.pki import SimulatedPKI
-from repro.dsp.server import DSPServer
-from repro.dsp.store import DSPStore
-from repro.terminal.api import Publisher
-from repro.terminal.session import Terminal
+from repro import AccessRule, Community, RuleSet, authorized_view
 from repro.terminal.transfer import TransferPolicy
 from repro.xmlstream.parser import parse_string
 from repro.xmlstream.writer import write_string
@@ -51,51 +47,57 @@ def part_two_full_architecture() -> None:
         "<billing><amount>80</amount></billing></patient>"
         "</hospital>"
     )
-    rules = RuleSet([
-        AccessRule.parse("+", "doctor", "/hospital"),
-        AccessRule.parse("-", "doctor", "//billing"),
-        AccessRule.parse("+", "accountant", "//billing"),
-        AccessRule.parse("+", "accountant", "//patient/name"),
-    ])
 
-    # The infrastructure: a simulated PKI, an untrusted store, an owner.
-    pki = SimulatedPKI()
-    for principal in ("owner", "doctor", "accountant"):
-        pki.enroll(principal)
-    dsp = DSPServer(DSPStore())
-    publisher = Publisher("owner", dsp.store, pki)
-    receipt = publisher.publish(
-        "records", parse_string(document), rules, ["doctor", "accountant"]
+    # One Community owns the infrastructure: simulated PKI, untrusted
+    # DSP, shared clock and compiled-policy registry.
+    community = Community()
+    owner = community.enroll("owner")
+    doctor = community.enroll("doctor")
+    accountant = community.enroll("accountant")
+
+    records = owner.publish(
+        document,
+        [
+            ("+", "doctor", "/hospital"),
+            ("-", "doctor", "//billing"),
+            ("+", "accountant", "//billing"),
+            ("+", "accountant", "//patient/name"),
+        ],
+        to=[doctor, accountant],
+        doc_id="records",
     )
-    print(f"published {receipt.document_bytes_encrypted} encrypted bytes, "
-          f"{receipt.keys_distributed} wrapped keys\n")
+    print(f"published {records.receipt.document_bytes_encrypted} encrypted "
+          f"bytes, {records.receipt.keys_distributed} wrapped keys\n")
 
-    for user in ("doctor", "accountant"):
-        terminal = Terminal(user, dsp, pki)
-        result, metrics = terminal.query("records", owner="owner")
-        print(f"{user}'s authorized view:")
-        print(" ", result.xml)
-        print(f"  [decrypted {metrics.bytes_decrypted} B, "
-              f"skipped {metrics.bytes_skipped} B, "
-              f"RAM high-water {metrics.ram_high_water} B, "
-              f"simulated time {metrics.clock.total():.2f} s]")
-        print()
+    for member in (doctor, accountant):
+        with member.open(records) as session:
+            stream = session.query()
+            print(f"{member.name}'s authorized view:")
+            print(" ", stream.text())
+            metrics = stream.metrics
+            print(f"  [decrypted {metrics.bytes_decrypted} B, "
+                  f"skipped {metrics.bytes_skipped} B, "
+                  f"RAM high-water {metrics.ram_high_water} B, "
+                  f"simulated time {metrics.clock.total():.2f} s]")
+            print()
 
-    # A query (pull scenario): only the matching subtrees come back.
-    terminal = Terminal("doctor", dsp, pki)
-    result, __ = terminal.query("records", query="//diagnosis", owner="owner")
-    print("doctor's query //diagnosis:")
-    print(" ", result.xml)
+    # A query (pull scenario): only the matching subtrees come back --
+    # and the ViewStream yields fragments as the card emits them,
+    # before the document has been fully pulled.
+    with doctor.open(records) as session:
+        print("doctor's query //diagnosis, streamed:")
+        for piece in session.query("//diagnosis"):
+            print(f"  [{piece.kind}@{piece.position}]", piece.text)
 
     # Round-trip-bound link?  A TransferPolicy batches the transport:
     # chunks are prefetched from the DSP in ranged requests and ride
     # the card link in multi-chunk PUT_CHUNK_BATCH APDUs.  The view is
     # byte-identical; only the round-trip counts move (benchmark E13).
-    batched = Terminal("doctor", dsp, pki, transfer=TransferPolicy.windowed(8))
-    __, metrics = batched.query("records", owner="owner")
-    print(f"\nwindow/batch 8: {metrics.dsp_requests} DSP round trips, "
-          f"{metrics.apdu_count} APDUs, {metrics.bytes_wasted} B wasted "
-          "speculation")
+    with doctor.open(records, transfer=TransferPolicy.windowed(8)) as session:
+        metrics = session.query().metrics
+        print(f"\nwindow/batch 8: {metrics.dsp_requests} DSP round trips, "
+              f"{metrics.apdu_count} APDUs, {metrics.bytes_wasted} B wasted "
+              "speculation")
 
 
 if __name__ == "__main__":

@@ -6,81 +6,95 @@ example by substituting or modifying encrypted blocks, thus motivating
 the encryption and integrity checking." (Section 2.1)
 
 This example plays every attack from :mod:`repro.dsp.tamper` against a
-live session and shows the card detecting each one.
+live facade session and shows the card detecting each one -- and the
+:mod:`repro.errors` taxonomy naming it: tampering surfaces as
+:class:`~repro.errors.TamperDetected`, transport trouble as
+:class:`~repro.errors.TransportError`, all under one
+:class:`~repro.errors.ReproError` ladder.
 
 Run with::
 
     python examples/tamper_detection.py
 """
 
-from repro.core.rules import AccessRule, RuleSet
-from repro.crypto.pki import SimulatedPKI
+from repro.community import Community
 from repro.dsp import tamper
-from repro.dsp.server import DSPServer
-from repro.dsp.store import DSPStore
-from repro.terminal.api import Publisher
-from repro.terminal.proxy import ProxyError
-from repro.terminal.session import Terminal
-from repro.xmlstream.parser import parse_string
+from repro.errors import ReproError, TamperDetected
 
 DOCUMENT = "<vault>" + "".join(
     f"<entry id='e{i}'>credential {i}</entry>" for i in range(30)
 ) + "</vault>"
 
 
-def attempt(name: str, dsp, pki, terminal=None) -> None:
-    terminal = terminal or Terminal("reader", dsp, pki)
+def attempt(name: str, community, document, member=None) -> None:
+    member = member or community.member("reader")
     try:
-        result, __ = terminal.query("vault", owner="owner")
-        print(f"  {name:34s} -> NOT DETECTED (view {len(result.xml)} chars)")
-    except (ProxyError, IndexError) as exc:
-        print(f"  {name:34s} -> detected ({exc})")
+        with member.open(document) as session:
+            view = session.query().text()
+        print(f"  {name:34s} -> NOT DETECTED (view {len(view)} chars)")
+    except TamperDetected as exc:
+        print(f"  {name:34s} -> tamper detected ({exc})")
+    except ReproError as exc:
+        print(f"  {name:34s} -> detected ({type(exc).__name__}: {exc})")
 
 
 def main() -> None:
-    pki = SimulatedPKI()
-    pki.enroll("owner")
-    pki.enroll("reader")
-    dsp = DSPServer(DSPStore())
-    publisher = Publisher("owner", dsp.store, pki)
-    rules = RuleSet([AccessRule.parse("+", "reader", "/vault")])
-    publisher.publish("vault", parse_string(DOCUMENT), rules, ["reader"],
-                      chunk_size=64)
-    pristine = dsp.store.get("vault").container
+    community = Community()
+    owner = community.enroll("owner")
+    reader = community.enroll("reader")
+    vault = owner.publish(
+        DOCUMENT,
+        [("+", "reader", "/vault")],
+        to=[reader],
+        doc_id="vault",
+        chunk_size=64,
+    )
+    store = community.store
+    pristine = store.get("vault").container
 
     print("baseline (honest DSP):")
-    attempt("honest service", dsp, pki)
+    attempt("honest service", community, vault)
     print()
     print("attacks by the compromised DSP:")
 
-    dsp.store.put_document(tamper.corrupt_chunk(pristine, 4))
-    attempt("bit-flip inside a chunk", dsp, pki)
+    store.put_document(tamper.corrupt_chunk(pristine, 4))
+    attempt("bit-flip inside a chunk", community, vault)
 
-    dsp.store.put_document(tamper.swap_chunks(pristine, 2, 7))
-    attempt("chunk reordering", dsp, pki)
+    store.put_document(tamper.swap_chunks(pristine, 2, 7))
+    attempt("chunk reordering", community, vault)
 
-    other_rules = RuleSet([AccessRule.parse("+", "reader", "/other")])
-    publisher.publish("other", parse_string("<other>decoy</other>"),
-                      other_rules, ["reader"], chunk_size=64)
-    other = dsp.store.get("other").container
-    dsp.store.put_document(tamper.substitute_chunk(pristine, 1, other, 0))
-    attempt("cross-document substitution", dsp, pki)
+    decoy = owner.publish(
+        "<other>decoy</other>",
+        [("+", "reader", "/other")],
+        to=[reader],
+        doc_id="other",
+        chunk_size=64,
+    )
+    other = store.get(decoy.doc_id).container
+    store.put_document(tamper.substitute_chunk(pristine, 1, other, 0))
+    attempt("cross-document substitution", community, vault)
 
-    dsp.store.put_document(tamper.truncate(pristine, keep=3))
-    attempt("truncation w/ forged header", dsp, pki)
+    store.put_document(tamper.truncate(pristine, keep=3))
+    attempt("truncation w/ forged header", community, vault)
 
-    dsp.store.put_document(tamper.truncate_keeping_header(pristine, keep=3))
-    attempt("truncation w/ original header", dsp, pki)
+    store.put_document(tamper.truncate_keeping_header(pristine, keep=3))
+    attempt("truncation w/ original header", community, vault)
 
     # Version replay: needs a card that has already seen the new version.
-    dsp.store.put_document(pristine)
-    terminal = Terminal("reader", dsp, pki)
-    terminal.query("vault", owner="owner")  # card register -> v1
-    publisher.publish("vault", parse_string("<vault><entry>v2</entry></vault>"),
-                      rules, ["reader"], chunk_size=64)
-    terminal.query("vault")  # card register -> v2
-    dsp.store.put_document(tamper.replay(pristine))
-    attempt("stale-version replay", dsp, pki, terminal=terminal)
+    store.put_document(pristine)
+    with reader.open(vault) as session:
+        session.query().finish()  # card register -> v1
+    owner.publish(
+        "<vault><entry>v2</entry></vault>",
+        [("+", "reader", "/vault")],
+        to=[reader],
+        doc_id="vault",
+        chunk_size=64,
+    )
+    with reader.open(vault) as session:
+        session.query().finish()  # card register -> v2
+    store.put_document(tamper.replay(pristine))
+    attempt("stale-version replay", community, vault, member=reader)
 
 
 if __name__ == "__main__":

@@ -2,40 +2,30 @@
 
 "the second one deals with the selective dissemination of multimedia
 streams through unsecured channels" (Section 3).  One encrypted stream
-is broadcast; each subscriber's card filters it against the
-subscriber's own rights -- subscription tiers for adults, parental
-control for the kid.  Nobody without a card learns anything, and the
-broadcaster sends every byte exactly once.
+is broadcast through ``community.channel(...)``; each subscriber's card
+filters it against the subscriber's own rights -- subscription tiers
+for adults, parental control for the kid.  Nobody without a card learns
+anything, and the broadcaster sends every byte exactly once.
+
+The head-end also *preflights* the whole audience in one shared
+evaluation pass (``channel.preview()``) -- the views the cards will
+produce, for the price of one parse.
 
 Run with::
 
     python examples/video_dissemination.py
 """
 
-from repro.crypto.container import seal_blob, seal_document
-from repro.crypto.keys import DocumentKeys, random_key
-from repro.dissemination.channel import BroadcastChannel
-from repro.dissemination.publisher import StreamPublisher
-from repro.dissemination.subscriber import Subscriber
-from repro.skipindex.encoder import IndexMode, encode_document
-from repro.smartcard.card import SmartCard
-from repro.smartcard.soe import SecureOperatingEnvironment
+from repro.community import Community
+from repro.core.rules import AccessRule
 from repro.workloads.docgen import video_catalog
 from repro.workloads.rulegen import parental_rules, subscription_rules
 from repro.xmlstream.tree import tree_to_events
 
 
 def main() -> None:
-    secret = random_key()
-    keys = DocumentKeys(secret)
-    stream_doc = video_catalog(n_videos=25, payload=150)
-    plaintext = encode_document(
-        list(tree_to_events(stream_doc)), IndexMode.RECURSIVE
-    )
-    container = seal_document(plaintext, "tv", 1, keys, chunk_size=96)
-    print(f"broadcast stream: {container.stored_size} encrypted bytes in "
-          f"{container.header.chunk_count} chunks")
-    print()
+    community = Community()
+    head_end = community.enroll("head-end")
 
     policies = {
         "news-only": subscription_rules("news-only", ["news"]),
@@ -45,43 +35,55 @@ def main() -> None:
         ),
         "kid": parental_rules("kid", max_rating="PG"),
     }
+    subscribers = [
+        community.enroll(name, strict_memory=False) for name in policies
+    ]
+    # One policy serves the whole audience; tier generators reuse rule
+    # ids, so namespace them per subscriber before merging.
+    all_rules = [
+        AccessRule(rule.sign, rule.subject, rule.object,
+                   f"{name}:{rule.rule_id}")
+        for name, rules in policies.items()
+        for rule in rules
+    ]
 
-    channel = BroadcastChannel()
-    subscribers = []
-    for name, rules in policies.items():
-        soe = SecureOperatingEnvironment(strict_memory=False)
-        soe.provision_key("tv", secret)
-        records = [
-            seal_blob(
-                f"{rule.sign}|{rule.subject}|{rule.object}".encode(),
-                f"tv#rule:{index}",
-                1,
-                keys,
-            )
-            for index, rule in enumerate(rules)
-        ]
-        subscriber = Subscriber(name, SmartCard(soe), 1, records,
-                                clock=channel.clock)
-        channel.subscribe(subscriber.on_frame)
-        subscribers.append(subscriber)
+    stream_doc = video_catalog(n_videos=25, payload=150)
+    tv = head_end.publish(
+        tree_to_events(stream_doc),
+        all_rules,
+        to=subscribers,
+        doc_id="tv",
+        chunk_size=96,
+    )
+    container = tv.container
+    print(f"broadcast stream: {container.stored_size} encrypted bytes in "
+          f"{container.header.chunk_count} chunks")
+    print()
 
-    StreamPublisher(channel).broadcast_document(container)
-    print(f"channel carried {channel.bytes_broadcast} bytes, once, "
-          f"for {len(subscribers)} subscribers\n")
+    channel = community.channel(tv)
+    handles = [channel.subscribe(member) for member in subscribers]
+
+    preview = channel.preview()  # every view, ONE evaluation pass
+    channel.broadcast()
+    print(f"channel carried {channel.broadcast_channel.bytes_broadcast} "
+          f"bytes, once, for {len(handles)} subscribers\n")
 
     header = f"{'subscriber':10s} {'ok':3s} {'view B':>7s} {'chunks sent':>11s} " \
              f"{'dropped':>8s} {'decrypted B':>11s} {'card time':>9s}"
     print(header)
     print("-" * len(header))
-    for subscriber in subscribers:
-        metrics = subscriber.metrics
-        card_time = subscriber.card.soe.clock.component("card_cpu")
-        print(f"{subscriber.name:10s} {str(subscriber.ok):3s} "
-              f"{len(subscriber.view):7d} {metrics.chunks_sent:11d} "
+    for handle in handles:
+        metrics = handle.metrics
+        card_time = handle.member.terminal.card.soe.clock.component("card_cpu")
+        print(f"{handle.member.name:10s} {str(handle.ok):3s} "
+              f"{len(handle.view):7d} {metrics.chunks_sent:11d} "
               f"{metrics.chunks_skipped:8d} {metrics.bytes_decrypted:11d} "
               f"{card_time:8.3f}s")
     print()
-    kid_view = next(s for s in subscribers if s.name == "kid").view
+    print("head-end preview matched every card view:",
+          all(handle.view == preview[handle.member.name]
+              for handle in handles))
+    kid_view = next(h for h in handles if h.member.name == "kid").view
     print("parental check: 'R'-rated titles in kid's view:",
           "<rating>R</rating>" in kid_view)
     print("kid sees PG and G programs:",

@@ -8,7 +8,21 @@ index, chunked authenticated encryption, a DSP, a terminal proxy and
 the two demo applications (collaborative sharing and selective
 dissemination).
 
-Quickstart::
+Quickstart (the full architecture, through the facade)::
+
+    from repro import Community
+
+    community = Community()
+    owner = community.enroll("owner")
+    doctor = community.enroll("doctor")
+    doc = owner.publish(xml_text,
+                        [("+", "doctor", "//patient"),
+                         ("-", "doctor", "//billing")],
+                        to=[doctor])
+    with doctor.open(doc) as session:
+        print(session.query().text())
+
+The streaming rule engine is also usable on its own::
 
     from repro import AccessRule, RuleSet, authorized_view
     from repro.xmlstream import parse_string, write_string
@@ -18,9 +32,18 @@ Quickstart::
     view = authorized_view(parse_string(xml_text), rules, "doctor")
     print(write_string(view))
 
-See ``examples/`` for the full smart-card architecture in action.
+See ``examples/`` for the full smart-card architecture in action and
+:mod:`repro.errors` for the exception taxonomy.
 """
 
+from repro.community import (
+    Channel,
+    Community,
+    Document,
+    Member,
+    Session,
+    ViewStream,
+)
 from repro.core import (
     AccessController,
     AccessRule,
@@ -36,27 +59,51 @@ from repro.core import (
     multicast_views,
     reference_view,
 )
+from repro.errors import (
+    AccessDenied,
+    DocumentLocked,
+    KeyNotGranted,
+    PolicyError,
+    ReproError,
+    ResourceExhausted,
+    TamperDetected,
+    TransportError,
+)
 from repro.skipindex import IndexMode
 from repro.smartcard import PendingStrategy, SmartCard
 from repro.terminal import Publisher, Terminal
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessController",
+    "AccessDenied",
     "AccessRule",
+    "Channel",
+    "Community",
     "CompiledPolicy",
+    "Document",
+    "DocumentLocked",
     "IndexMode",
+    "KeyNotGranted",
+    "Member",
     "MultiSubjectEvaluator",
     "PendingStrategy",
+    "PolicyError",
     "PolicyRegistry",
     "Publisher",
+    "ReproError",
+    "ResourceExhausted",
     "RuleSet",
+    "Session",
     "Sign",
     "SmartCard",
     "Subject",
+    "TamperDetected",
     "Terminal",
+    "TransportError",
     "ViewMode",
+    "ViewStream",
     "authorized_view",
     "compile_policy",
     "multicast_views",

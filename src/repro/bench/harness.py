@@ -1,9 +1,12 @@
 """One-call experiment runner.
 
-Every benchmark builds a fresh full stack (PKI, DSP, publisher,
-terminal, card) for each measured point, so no state leaks between
-rows; the simulated clock makes the numbers deterministic across runs
-and machines.
+Every benchmark builds a fresh full stack for each measured point, so
+no state leaks between rows; the simulated clock makes the numbers
+deterministic across runs and machines.  Scenarios are constructed
+through the :class:`repro.community.Community` facade -- the same
+wiring applications use -- which composes exactly the legacy stack
+(PKI, DSP, publisher, terminal, card), so every metric is bit-for-bit
+what the hand-wired path produced.
 """
 
 from __future__ import annotations
@@ -11,17 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.community import Community
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.core.rules import RuleSet
-from repro.crypto.pki import SimulatedPKI
-from repro.dsp.server import DSPServer
-from repro.dsp.store import DSPStore
 from repro.skipindex.encoder import IndexMode
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.resources import SessionMetrics
-from repro.terminal.api import Publisher
-from repro.terminal.session import Terminal
 from repro.terminal.transfer import TransferPolicy
 from repro.xmlstream.events import Event
 
@@ -62,38 +61,31 @@ class PullOutcome:
 
 
 def run_pull_session(setup: PullSetup) -> PullOutcome:
-    """Publish + query through a fresh stack; return view and metrics."""
-    pki = SimulatedPKI()
-    pki.enroll(setup.owner)
-    pki.enroll(setup.subject)
-    store = DSPStore()
-    dsp = DSPServer(store)
-    publisher = Publisher(setup.owner, store, pki)
-    publisher.publish(
-        setup.doc_id,
+    """Publish + query through a fresh facade stack; view and metrics."""
+    community = Community(registry=setup.registry)
+    owner = community.enroll(setup.owner)
+    subject = community.enroll(
+        setup.subject,
+        ram_quota=setup.ram_quota,
+        strict_memory=setup.strict_memory,
+    )
+    document = owner.publish(
         setup.events,
         setup.rules,
-        [setup.subject],
+        [subject],
+        doc_id=setup.doc_id,
         index_mode=setup.index_mode,
         chunk_size=setup.chunk_size,
     )
-    terminal = Terminal(
-        setup.subject,
-        dsp,
-        pki,
-        ram_quota=setup.ram_quota,
-        strict_memory=setup.strict_memory,
-        registry=setup.registry,
-        transfer=setup.transfer,
-    )
-    result, metrics = terminal.query(
-        setup.doc_id,
-        query=setup.query,
-        owner=setup.owner,
-        strategy=setup.strategy,
-        view_mode=setup.view_mode,
-    )
-    container = publisher.container(setup.doc_id)
+    with subject.open(document, transfer=setup.transfer) as session:
+        stream = session.query(
+            setup.query,
+            strategy=setup.strategy,
+            view_mode=setup.view_mode,
+        )
+        result = stream.result()
+        metrics = stream.metrics
+    container = document.container
     return PullOutcome(
         xml=result.xml,
         fragments=result.fragments,

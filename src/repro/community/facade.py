@@ -1,0 +1,399 @@
+"""The :class:`Community` facade and its :class:`Member` /
+:class:`Document` handles.
+
+One ``Community`` owns the shared infrastructure the paper's scenarios
+always wire by hand -- a simulated PKI, an untrusted store behind a
+:class:`~repro.dsp.server.DSPServer`, one simulated clock and one
+compiled-policy :class:`~repro.core.compiled.PolicyRegistry` -- and
+hands out object handles instead:
+
+* ``community.enroll(name)`` -> :class:`Member` (a PKI identity plus a
+  lazily created publisher endpoint and smart-card terminal);
+* ``member.publish(xml, rules, to=[...])`` -> :class:`Document` (an
+  owner-side handle whose ``update_rules``/``grant``/``revoke``
+  delegate to the paper's re-seal semantics: policy changes never
+  re-encrypt the document or redistribute keys);
+* ``member.open(document)`` -> :class:`~repro.community.session.Session`
+  (a context manager running pull sessions through the member's card);
+* ``community.channel(document)`` ->
+  :class:`~repro.community.channels.Channel` (the push/carousel path
+  under the same handle model).
+
+Because every member's card shares the community's policy registry,
+repeated sessions -- and whole subscriber fleets on the same tier --
+compile each distinct sub-policy exactly once.
+
+Failures surface as the :mod:`repro.errors` taxonomy, never as bare
+``KeyError``/``ValueError``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.community.channels import Channel
+from repro.community.session import Session
+from repro.core.compiled import PolicyRegistry
+from repro.core.rules import AccessRule, RuleSet
+from repro.crypto.container import DocumentContainer
+from repro.crypto.pki import SimulatedPKI
+from repro.dsp.server import DSPServer
+from repro.dsp.store import DSPStore
+from repro.errors import PolicyError, UnknownDocument
+from repro.skipindex.encoder import IndexMode
+from repro.smartcard.resources import LinkModel, NetworkModel, SimClock
+from repro.terminal.api import Publisher, PublishReceipt
+from repro.terminal.session import Terminal
+from repro.terminal.transfer import TransferPolicy
+from repro.xmlstream.events import Event
+from repro.xmlstream.parser import parse_string
+
+#: What ``member.publish`` accepts as the document: XML text or an
+#: already-parsed event stream.
+DocumentSource = Union[str, Iterable[Event]]
+
+#: What ``member.publish`` accepts as one rule: a parsed
+#: :class:`AccessRule` or a terse ``(sign, subject, xpath)`` triple.
+RuleLike = Union[AccessRule, "tuple[str, str, str]"]
+
+#: What ``member.publish`` accepts as the policy.
+RulesLike = Union[RuleSet, Iterable[RuleLike]]
+
+
+def _as_events(source: DocumentSource) -> list[Event]:
+    if isinstance(source, str):
+        return parse_string(source)
+    return list(source)
+
+
+def _as_rules(rules: RulesLike) -> RuleSet:
+    if isinstance(rules, RuleSet):
+        return rules
+    parsed: list[AccessRule] = []
+    for rule in rules:
+        if isinstance(rule, AccessRule):
+            parsed.append(rule)
+        else:
+            sign, subject, xpath = rule
+            parsed.append(AccessRule.parse(sign, subject, xpath))
+    return RuleSet(parsed)
+
+
+class Community:
+    """A community of members sharing documents through one DSP.
+
+    The facade owns the infrastructure every scenario needs exactly
+    once: ``pki``, ``store``, ``dsp``, ``clock`` and the shared
+    compiled-policy ``registry``.  All of them remain reachable as
+    attributes, so code that needs the lower layers (benchmarks,
+    tamper injection) can still touch them directly.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: SimClock | None = None,
+        network: NetworkModel | None = None,
+        store: DSPStore | None = None,
+        registry: PolicyRegistry | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.store = store if store is not None else DSPStore()
+        self.dsp = DSPServer(self.store, network=network, clock=self.clock)
+        self.pki = SimulatedPKI()
+        self.registry = registry if registry is not None else PolicyRegistry()
+        self._members: dict[str, Member] = {}
+        self._documents: dict[str, Document] = {}
+        self._channels: dict[str, Channel] = {}
+        self._doc_sequence = 0
+
+    # -- membership -------------------------------------------------------
+
+    def enroll(
+        self,
+        name: str,
+        *,
+        ram_quota: int | None = 1024,
+        strict_memory: bool = True,
+        link: LinkModel | None = None,
+    ) -> "Member":
+        """Enroll a principal (idempotent) and return its handle.
+
+        The card options pin the member's simulated smart card; they
+        must match on a repeated enroll of the same name (enrolling is
+        not key rotation -- rotate through ``community.pki`` directly
+        if that is what you need).
+        """
+        existing = self._members.get(name)
+        card_config = (ram_quota, strict_memory, link)
+        if existing is not None:
+            if existing._card_config != card_config:
+                raise PolicyError(
+                    f"member {name!r} is already enrolled with a "
+                    "different card configuration",
+                    subject=name,
+                )
+            return existing
+        self.pki.enroll(name)
+        member = Member(self, name, card_config)
+        self._members[name] = member
+        return member
+
+    def member(self, name: str) -> "Member":
+        """The handle of an enrolled member."""
+        member = self._members.get(name)
+        if member is None:
+            raise PolicyError(
+                f"{name!r} is not enrolled in this community", subject=name
+            )
+        return member
+
+    @property
+    def members(self) -> "list[Member]":
+        return list(self._members.values())
+
+    # -- documents --------------------------------------------------------
+
+    def document(self, doc_id: str) -> "Document":
+        """The handle of a published document."""
+        document = self._documents.get(doc_id)
+        if document is None:
+            raise UnknownDocument(
+                f"no document {doc_id!r} was published in this community",
+                doc_id=doc_id,
+            )
+        return document
+
+    @property
+    def documents(self) -> "list[Document]":
+        return list(self._documents.values())
+
+    def _next_doc_id(self, owner: str) -> str:
+        self._doc_sequence += 1
+        return f"{owner}-doc-{self._doc_sequence}"
+
+    # -- dissemination ----------------------------------------------------
+
+    def channel(self, document: "Document | str") -> Channel:
+        """The broadcast channel handle for one document (cached)."""
+        if isinstance(document, str):
+            document = self.document(document)
+        channel = self._channels.get(document.doc_id)
+        if channel is None:
+            channel = Channel(self, document)
+            self._channels[document.doc_id] = channel
+        return channel
+
+
+class Member:
+    """One enrolled principal: an identity, a publisher, a card.
+
+    Handles are cheap; the underlying
+    :class:`~repro.terminal.api.Publisher` and
+    :class:`~repro.terminal.session.Terminal` (which allocates the
+    simulated card) are created on first use and then persist, so a
+    member keeps one card across sessions -- version registers and
+    unlocked documents behave like the paper's personalized card.
+    """
+
+    def __init__(
+        self,
+        community: Community,
+        name: str,
+        card_config: "tuple[int | None, bool, LinkModel | None]",
+    ) -> None:
+        self.community = community
+        self.name = name
+        self._card_config = card_config
+        self._publisher: Publisher | None = None
+        self._terminal: Terminal | None = None
+
+    def __repr__(self) -> str:
+        return f"Member({self.name!r})"
+
+    @property
+    def publisher(self) -> Publisher:
+        """The member's owner-side publishing endpoint (lazy)."""
+        if self._publisher is None:
+            self._publisher = Publisher(
+                self.name,
+                self.community.store,
+                self.community.pki,
+                _warn=False,
+            )
+        return self._publisher
+
+    @property
+    def terminal(self) -> Terminal:
+        """The member's terminal with its smart card (lazy)."""
+        if self._terminal is None:
+            ram_quota, strict_memory, link = self._card_config
+            self._terminal = Terminal(
+                self.name,
+                self.community.dsp,
+                self.community.pki,
+                link=link,
+                ram_quota=ram_quota,
+                strict_memory=strict_memory,
+                registry=self.community.registry,
+                _warn=False,
+            )
+        return self._terminal
+
+    # -- owner side -------------------------------------------------------
+
+    def publish(
+        self,
+        source: DocumentSource,
+        rules: RulesLike,
+        to: "Sequence[Member | str]" = (),
+        *,
+        doc_id: str | None = None,
+        index_mode: IndexMode = IndexMode.RECURSIVE,
+        chunk_size: int = 96,
+    ) -> "Document":
+        """Seal and upload a document; returns its handle.
+
+        ``source`` is XML text or an event stream; ``rules`` a
+        :class:`RuleSet`, parsed rules, or terse ``(sign, subject,
+        xpath)`` triples; ``to`` the members granted the document
+        secret.  Publishing the same ``doc_id`` again re-seals a new
+        version under the same handle (owner only).
+        """
+        community = self.community
+        recipients = [
+            m.name if isinstance(m, Member) else community.member(m).name
+            for m in to
+        ]
+        if doc_id is None:
+            doc_id = community._next_doc_id(self.name)
+        existing = community._documents.get(doc_id)
+        if existing is not None and existing.owner is not self:
+            raise PolicyError(
+                f"document {doc_id!r} belongs to "
+                f"{existing.owner.name!r}, not {self.name!r}",
+                doc_id=doc_id,
+                subject=self.name,
+            )
+        events = _as_events(source)
+        ruleset = _as_rules(rules)
+        receipt = self.publisher.publish(
+            doc_id,
+            events,
+            ruleset,
+            recipients,
+            index_mode=index_mode,
+            chunk_size=chunk_size,
+        )
+        if existing is not None:
+            existing._update(events, ruleset, recipients, receipt)
+            return existing
+        document = Document(self, doc_id, events, ruleset, recipients, receipt)
+        community._documents[doc_id] = document
+        return document
+
+    # -- reader side ------------------------------------------------------
+
+    def open(
+        self,
+        document: "Document | str",
+        *,
+        transfer: TransferPolicy | None = None,
+        groups: frozenset[str] = frozenset(),
+    ) -> Session:
+        """Open a pull session on a document (a context manager).
+
+        Unlocks the document on the member's card (fetching and
+        unwrapping the wrapped secret through the PKI) and returns a
+        :class:`Session` whose ``query`` hands back incremental
+        :class:`~repro.community.session.ViewStream` views.  ``transfer``
+        overrides the chunk transport plan for this session only;
+        ``groups`` carries the member's roles.
+        """
+        if isinstance(document, str):
+            document = self.community.document(document)
+        return Session(self, document, transfer=transfer, groups=groups)
+
+
+class Document:
+    """Owner-side handle of one published document.
+
+    Mutating operations delegate to the paper's re-seal semantics:
+    ``update_rules`` re-seals only the rule records (zero document
+    bytes, zero keys), ``grant`` wraps the existing secret for one more
+    member, ``revoke`` removes a member's wrapped key from the DSP.
+    The handle retains the owner's plaintext events and current rules
+    -- the owner has them by definition -- so dissemination previews
+    can run without touching ciphertext.
+    """
+
+    def __init__(
+        self,
+        owner: Member,
+        doc_id: str,
+        events: list[Event],
+        rules: RuleSet,
+        recipients: list[str],
+        receipt: PublishReceipt,
+    ) -> None:
+        self.owner = owner
+        self.doc_id = doc_id
+        self.events = events
+        self.rules = rules
+        self.recipients = list(recipients)
+        self.receipt = receipt
+
+    def __repr__(self) -> str:
+        return f"Document({self.doc_id!r}, owner={self.owner.name!r})"
+
+    def _update(
+        self,
+        events: list[Event],
+        rules: RuleSet,
+        recipients: list[str],
+        receipt: PublishReceipt,
+    ) -> None:
+        self.events = events
+        self.rules = rules
+        for recipient in recipients:
+            if recipient not in self.recipients:
+                self.recipients.append(recipient)
+        self.receipt = receipt
+
+    @property
+    def container(self) -> DocumentContainer:
+        """The sealed container as stored at the DSP."""
+        return self.owner.publisher.container(self.doc_id)
+
+    def update_rules(self, rules: RulesLike) -> PublishReceipt:
+        """Change the policy; re-seals ONLY the tiny rule records."""
+        ruleset = _as_rules(rules)
+        receipt = self.owner.publisher.update_rules(self.doc_id, ruleset)
+        self.rules = ruleset
+        self.receipt = receipt
+        return receipt
+
+    def grant(self, member: "Member | str") -> None:
+        """Wrap the document secret for one more member."""
+        name = member.name if isinstance(member, Member) else member
+        self.owner.community.member(name)  # must be enrolled
+        self.owner.publisher.grant_access(self.doc_id, name)
+        if name not in self.recipients:
+            self.recipients.append(name)
+
+    def revoke(self, member: "Member | str") -> bool:
+        """Remove a member's wrapped key from the DSP.
+
+        Returns whether a key was removed.  A card that already
+        unlocked the document keeps its provisioned copy, so durable
+        revocation pairs this with an :meth:`update_rules` denying the
+        member -- exactly the paper's dissociation of rights from
+        encryption.
+        """
+        name = member.name if isinstance(member, Member) else member
+        removed = self.owner.community.store.remove_wrapped_key(
+            self.doc_id, name
+        )
+        if name in self.recipients:
+            self.recipients.remove(name)
+        return removed

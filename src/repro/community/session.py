@@ -1,0 +1,244 @@
+"""Pull sessions and streaming views for the community facade.
+
+A :class:`Session` is what ``member.open(document)`` returns: a context
+manager bound to the member's card with the document unlocked, whose
+``query`` runs one pull evaluation and hands back a
+:class:`ViewStream`.
+
+The stream is the facade's replacement for the buffer-everything
+``AuthorizedResult``: an *incremental* iterator of authorized
+fragments.  Pieces surface as soon as the card's output drain produces
+them -- before later chunks are even fetched from the DSP -- and
+refetched pending subtrees settle lazily, by document position rather
+than arrival order.  ``text()`` and ``events()`` materialize the
+settled view when a caller does want it whole.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.delivery import ViewMode
+from repro.errors import PolicyError
+from repro.smartcard.applet import PendingStrategy
+from repro.smartcard.resources import SessionMetrics
+from repro.terminal.api import AuthorizedResult
+from repro.terminal.proxy import QueryOutcome, ViewPiece
+from repro.terminal.transfer import TransferPolicy
+from repro.xmlstream.events import Event
+from repro.xmlstream.parser import parse_string
+
+if TYPE_CHECKING:
+    from repro.community.facade import Document, Member
+
+
+def _parse_view_text(text: str) -> list[Event]:
+    """Parse view text that may be empty or hold several subtrees.
+
+    ``ViewMode.PRUNE`` can re-parent content so a view is not always a
+    single-rooted document; wrapping in a synthetic root and stripping
+    it afterwards parses every shape a view can take.
+    """
+    if not text:
+        return []
+    events = parse_string(f"<v>{text}</v>")
+    return events[1:-1]
+
+
+class ViewStream:
+    """An incremental iterator over one authorized view.
+
+    Iterating yields :class:`~repro.terminal.proxy.ViewPiece` items:
+    in-order slices of the main pass first (each available before the
+    next chunk window is pulled), then refetched pending subtrees.
+    Pieces are cached, so the stream may be iterated again or
+    materialized after consumption:
+
+    * :meth:`text` -- the settled complete view (main view, then
+      fragments ordered by their document position);
+    * :meth:`events` -- the same, as parsed XML events;
+    * :meth:`result` -- a legacy ``AuthorizedResult`` bridge;
+    * :attr:`metrics` -- the session metrics (drains the stream).
+    """
+
+    def __init__(
+        self, pieces: "Iterator[ViewPiece]", outcome: QueryOutcome
+    ) -> None:
+        self._live = pieces
+        self._outcome = outcome
+        self._cached: list[ViewPiece] = []
+        self._finished = False
+
+    # -- iteration --------------------------------------------------------
+
+    def __iter__(self) -> "Iterator[ViewPiece]":
+        index = 0
+        while True:
+            while index < len(self._cached):
+                yield self._cached[index]
+                index += 1
+            if self._finished:
+                return
+            if self._advance() is None:
+                return
+
+    def _advance(self) -> ViewPiece | None:
+        try:
+            piece = next(self._live)
+        except StopIteration:
+            self._finished = True
+            return None
+        self._cached.append(piece)
+        return piece
+
+    def finish(self) -> "ViewStream":
+        """Drain the stream to completion (idempotent)."""
+        while not self._finished:
+            self._advance()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying session pass has completed."""
+        return self._finished
+
+    # -- materializers ----------------------------------------------------
+
+    @property
+    def pieces(self) -> "list[ViewPiece]":
+        """Every piece of the view (drains the stream)."""
+        self.finish()
+        return list(self._cached)
+
+    @property
+    def fragments(self) -> "list[ViewPiece]":
+        """Refetched subtrees, settled by document position."""
+        self.finish()
+        return sorted(
+            (p for p in self._cached if p.kind == "fragment"),
+            key=lambda p: p.position,
+        )
+
+    def text(self) -> str:
+        """The settled complete view as one string.
+
+        The main view comes first (it is already in document order);
+        refetched fragments follow ordered by the absolute document
+        position of their subtree, whatever order the transport
+        replayed them in.
+        """
+        self.finish()
+        parts = [self._outcome.xml]
+        parts.extend(piece.text for piece in self.fragments)
+        return "".join(parts)
+
+    def events(self) -> list[Event]:
+        """The settled view parsed back into XML events."""
+        self.finish()
+        events = _parse_view_text(self._outcome.xml)
+        for piece in self.fragments:
+            events.extend(_parse_view_text(piece.text))
+        return events
+
+    def result(self) -> AuthorizedResult:
+        """Bridge to the deprecated buffer-everything result type."""
+        self.finish()
+        return AuthorizedResult(
+            xml=self._outcome.xml, fragments=list(self._outcome.fragments)
+        )
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        """Session metrics; drains the stream to finalize them."""
+        self.finish()
+        return self._outcome.metrics
+
+
+class Session:
+    """One member's pull session on one document (a context manager).
+
+    Opening unlocks the document on the member's card (one wrapped-key
+    fetch + unwrap, skipped if already unlocked).  The session's
+    ``transfer`` plan rides along with each query -- terminal state is
+    never mutated, so overlapping sessions on one member cannot leak or
+    clobber each other's transport plans.  Closing drains any stream
+    still in flight, so the card never stays parked mid-document.
+    """
+
+    def __init__(
+        self,
+        member: "Member",
+        document: "Document",
+        *,
+        transfer: TransferPolicy | None = None,
+        groups: frozenset[str] = frozenset(),
+    ) -> None:
+        self.member = member
+        self.document = document
+        self.transfer = transfer
+        self.groups = groups
+        self._streams: list[ViewStream] = []
+        self._closed = False
+        member.terminal.unlock_document(document.doc_id, document.owner.name)
+
+    # -- context management ----------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Finish any in-flight stream (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for stream in self._streams:
+            stream.finish()
+
+    # -- queries ----------------------------------------------------------
+
+    def query(
+        self,
+        xpath: str | None = None,
+        *,
+        strategy: PendingStrategy = PendingStrategy.BUFFER,
+        view_mode: ViewMode = ViewMode.SKELETON,
+    ) -> ViewStream:
+        """Run one pull evaluation; returns a fresh :class:`ViewStream`.
+
+        ``xpath`` restricts the view to matching subtrees (the paper's
+        pull queries); ``strategy`` picks how pending subtrees are
+        handled and ``view_mode`` how denied ancestors render.
+        """
+        if self._closed:
+            raise PolicyError(
+                f"session on {self.document.doc_id!r} is closed",
+                doc_id=self.document.doc_id,
+                subject=self.member.name,
+            )
+        # One card runs one evaluation at a time: a still-streaming
+        # earlier view must complete before the next BEGIN_SESSION.
+        for stream in self._streams:
+            stream.finish()
+        outcome = QueryOutcome(xml="")
+        pieces = self.member.terminal.proxy.stream_query(
+            self.document.doc_id,
+            self.member.name,
+            query=xpath,
+            strategy=strategy,
+            view_mode=view_mode,
+            groups=self.groups,
+            outcome=outcome,
+            transfer=self.transfer,
+        )
+        stream = ViewStream(pieces, outcome)
+        self._streams.append(stream)
+        return stream

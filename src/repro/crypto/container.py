@@ -26,11 +26,12 @@ from repro.crypto.modes import (
     cbc_encrypt,
     cbc_encrypt_many,
 )
+from repro.errors import TamperDetected
 
 DEFAULT_CHUNK_SIZE = 96  # plaintext bytes per chunk; fits card RAM easily
 
 
-class IntegrityError(Exception):
+class IntegrityError(TamperDetected):
     """Raised when a MAC check or structural invariant fails."""
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.mac import keyed_digest
 from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE, XTEACipher
+from repro.errors import KeyNotGranted
 
 
 def random_key() -> bytes:
@@ -74,8 +75,13 @@ class KeyRing:
         self._secrets.pop(doc_id, None)
 
     def keys_for(self, doc_id: str) -> DocumentKeys:
-        """Key bundle for a document (KeyError when not granted)."""
-        return self._secrets[doc_id]
+        """Key bundle for a document (:class:`KeyNotGranted` if absent)."""
+        keys = self._secrets.get(doc_id)
+        if keys is None:
+            raise KeyNotGranted(
+                f"no key granted for document {doc_id!r}", doc_id=doc_id
+            )
+        return keys
 
     def __contains__(self, doc_id: str) -> bool:
         return doc_id in self._secrets

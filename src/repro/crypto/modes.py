@@ -12,10 +12,16 @@ open and MAC-adjacent paths never re-derive the schedule.
 from __future__ import annotations
 
 from repro.crypto.xtea import BLOCK_SIZE, XTEACipher
+from repro.errors import TamperDetected
 
 
-class PaddingError(ValueError):
-    """Raised when PKCS#7 padding is malformed after decryption."""
+class PaddingError(TamperDetected, ValueError):
+    """Raised when PKCS#7 padding is malformed after decryption.
+
+    Malformed padding after an authenticated decrypt means the key or
+    ciphertext was wrong -- tamper evidence, hence the taxonomy parent
+    -- but it stays a :class:`ValueError` for historical callers.
+    """
 
 
 def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:

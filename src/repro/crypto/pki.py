@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE
+from repro.errors import KeyNotGranted
 
 # RFC 3526, group 14 (2048-bit MODP).
 _P = int(
@@ -90,9 +91,18 @@ class SimulatedPKI:
         key = (principal, peer_public)
         kek = self._kek_cache.get(key)
         if kek is None:
-            kek = shared_secret(self._pairs[principal], peer_public)
+            kek = shared_secret(self._pair_of(principal), peer_public)
             self._kek_cache[key] = kek
         return kek
+
+    def _pair_of(self, principal: str) -> KeyPair:
+        pair = self._pairs.get(principal)
+        if pair is None:
+            raise KeyNotGranted(
+                f"principal {principal!r} is not enrolled in the PKI",
+                subject=principal,
+            )
+        return pair
 
     def enroll(self, principal: str, seed: bytes | None = None) -> KeyPair:
         """Create and register a key pair for a principal.
@@ -121,13 +131,19 @@ class SimulatedPKI:
         return pair
 
     def public_key(self, principal: str) -> int:
-        return self._directory[principal]
+        key = self._directory.get(principal)
+        if key is None:
+            raise KeyNotGranted(
+                f"principal {principal!r} is not enrolled in the PKI",
+                subject=principal,
+            )
+        return key
 
     def wrap_secret(
         self, sender: str, recipient: str, secret: bytes
     ) -> bytes:
         """Wrap ``secret`` from ``sender`` to ``recipient``."""
-        kek = self._kek(sender, self._directory[recipient])
+        kek = self._kek(sender, self.public_key(recipient))
         iv = hmac.new(
             kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
         ).digest()[:BLOCK_SIZE]
@@ -137,7 +153,7 @@ class SimulatedPKI:
         self, recipient: str, sender: str, wrapped: bytes
     ) -> bytes:
         """Unwrap a secret received from ``sender``."""
-        kek = self._kek(recipient, self._directory[sender])
+        kek = self._kek(recipient, self.public_key(sender))
         iv = hmac.new(
             kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
         ).digest()[:BLOCK_SIZE]

@@ -17,13 +17,15 @@ from dataclasses import dataclass, field
 
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
+from repro.errors import ResourceExhausted, TamperDetected, TransportError
 from repro.smartcard.apdu import (
     CommandAPDU,
     Instruction,
     ResponseAPDU,
+    StatusWord,
     transmit_chunk_batch,
 )
-from repro.smartcard.card import SmartCard, decode_header
+from repro.smartcard.card import SmartCard, decode_header, encode_groups
 from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
 from repro.terminal.transfer import TransferPolicy
 
@@ -35,6 +37,7 @@ class SubscriberState:
     next_needed_offset: int = 0
     document_done: bool = False
     failed: str | None = None
+    failed_sw: int | None = None
     output: bytearray = field(default_factory=bytearray)
 
 
@@ -52,8 +55,14 @@ class Subscriber:
         view_mode: ViewMode = ViewMode.SKELETON,
         registry: PolicyRegistry | None = None,
         transfer: TransferPolicy | None = None,
+        groups: frozenset[str] = frozenset(),
     ) -> None:
         self.name = name
+        #: Roles the subscriber holds; rules written for any of them
+        #: apply.  Same-tier subscribers sharing a group (and a
+        #: registry) therefore share ONE compiled policy -- their
+        #: effective sub-policies fingerprint identically.
+        self.groups = groups
         self.card = card
         if registry is not None:
             # A fleet of simulated subscribers may share one compiled-
@@ -114,6 +123,7 @@ class Subscriber:
 
     def _fail(self, context: str, response: ResponseAPDU) -> None:
         self.state.failed = f"{context}: {response.sw:#06x}"
+        self.state.failed_sw = response.sw
 
     def _on_header(self, payload: bytes) -> None:
         header = decode_header(payload)
@@ -124,6 +134,7 @@ class Subscriber:
         doc = header.doc_id.encode("utf-8")
         subject = self.name.encode("utf-8")
         begin = bytes([0, len(doc)]) + doc + bytes([len(subject)]) + subject
+        begin += encode_groups(self.groups)
         if self._view_mode is ViewMode.PRUNE:
             begin = bytes([0x04]) + begin[1:]
         response = self._transmit(
@@ -243,3 +254,21 @@ class Subscriber:
     @property
     def ok(self) -> bool:
         return self.state.failed is None and self.state.document_done
+
+    def require_ok(self) -> None:
+        """Raise the typed error behind a failed or truncated session.
+
+        Push mode reports card refusals as recorded status words (there
+        is no exception channel across a broadcast); this converts the
+        record into the :mod:`repro.errors` taxonomy for callers that
+        want one ``except`` ladder across pull and push.
+        """
+        if self.ok:
+            return
+        detail = self.state.failed or "stream ended before document completed"
+        message = f"subscriber {self.name!r}: {detail}"
+        if self.state.failed_sw == StatusWord.SECURITY_STATUS_NOT_SATISFIED:
+            raise TamperDetected(message, subject=self.name)
+        if self.state.failed_sw == StatusWord.MEMORY_FAILURE:
+            raise ResourceExhausted(message, subject=self.name)
+        raise TransportError(message, subject=self.name)

@@ -10,6 +10,7 @@ from repro.core.multicast import multicast_view_texts
 from repro.core.rules import RuleSet, Sign, Subject
 from repro.crypto.container import DocumentHeader
 from repro.dsp.store import DSPStore
+from repro.errors import KeyNotGranted
 from repro.smartcard.card import encode_header
 from repro.smartcard.resources import NetworkModel, SimClock
 from repro.xmlstream.events import Event
@@ -90,7 +91,14 @@ class DSPServer:
         return stored.rules_version, list(stored.rule_records)
 
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
-        blob = self.store.get(doc_id).wrapped_keys[recipient]
+        blob = self.store.get(doc_id).wrapped_keys.get(recipient)
+        if blob is None:
+            raise KeyNotGranted(
+                f"document {doc_id!r} has no key wrapped for "
+                f"recipient {recipient!r}",
+                doc_id=doc_id,
+                subject=recipient,
+            )
         self._charge(len(blob))
         return blob
 

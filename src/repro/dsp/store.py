@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.container import DocumentContainer
+from repro.errors import UnknownDocument
 
 
 @dataclass(slots=True)
@@ -37,17 +38,33 @@ class DSPStore:
             self._documents[doc_id] = StoredDocument(container)
 
     def get(self, doc_id: str) -> StoredDocument:
-        return self._documents[doc_id]
+        stored = self._documents.get(doc_id)
+        if stored is None:
+            raise UnknownDocument(
+                f"the store holds no document {doc_id!r}", doc_id=doc_id
+            )
+        return stored
 
     def put_rules(
         self, doc_id: str, records: list[bytes], version: int
     ) -> None:
-        stored = self._documents[doc_id]
+        stored = self.get(doc_id)
         stored.rule_records = list(records)
         stored.rules_version = version
 
     def put_wrapped_key(self, doc_id: str, recipient: str, blob: bytes) -> None:
-        self._documents[doc_id].wrapped_keys[recipient] = blob
+        self.get(doc_id).wrapped_keys[recipient] = blob
+
+    def remove_wrapped_key(self, doc_id: str, recipient: str) -> bool:
+        """Drop a recipient's wrapped key (key-level revocation).
+
+        Returns whether a key was actually removed.  Note that a card
+        that already unlocked the document keeps its provisioned copy;
+        durable revocation also updates the access rules.
+        """
+        return (
+            self.get(doc_id).wrapped_keys.pop(recipient, None) is not None
+        )
 
     def document_ids(self) -> list[str]:
         return sorted(self._documents)

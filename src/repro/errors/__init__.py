@@ -1,0 +1,115 @@
+"""The library-wide error taxonomy.
+
+Every failure a caller can meaningfully react to derives from
+:class:`ReproError`, so application code written against the
+:mod:`repro.community` facade needs exactly one ``except`` ladder:
+
+.. code-block:: text
+
+    ReproError
+    ├── AccessDenied          the policy said no
+    │   └── KeyNotGranted     no wrapped key / principal not enrolled
+    ├── DocumentLocked        document secret absent from the card
+    ├── TamperDetected        integrity, authentication or replay failure
+    ├── PolicyError           bad or unknown policy / document state
+    │   └── UnknownDocument   document id the store has never seen
+    ├── TransportError        the session transport failed mid-flight
+    └── ResourceExhausted     a secure-RAM or quota limit was hit
+
+Layer-specific exceptions keep their historical names but now inherit
+from these types (often *alongside* the builtin they used to be, e.g.
+:class:`KeyNotGranted` is still a :class:`KeyError`), so existing
+``except`` clauses keep working while new code catches the taxonomy.
+
+Errors carry optional ``doc_id`` and ``subject`` attributes so a
+handler can report *which* document or principal failed without
+parsing the message.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AccessDenied",
+    "DocumentLocked",
+    "KeyNotGranted",
+    "PolicyError",
+    "ReproError",
+    "ResourceExhausted",
+    "TamperDetected",
+    "TransportError",
+    "UnknownDocument",
+]
+
+
+class ReproError(Exception):
+    """Base class of every library-originated failure.
+
+    ``doc_id`` and ``subject`` identify the document and principal the
+    failure concerns, when the raising layer knows them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        doc_id: str | None = None,
+        subject: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.doc_id = doc_id
+        self.subject = subject
+
+
+class AccessDenied(ReproError):
+    """The access-control policy refused the requested operation."""
+
+
+class KeyNotGranted(AccessDenied, KeyError):
+    """No key material was ever granted for this (document, principal).
+
+    Raised when the DSP holds no wrapped key for a recipient, when a
+    principal is not enrolled in the PKI, or when a key ring has no
+    entry for a document.  Still a :class:`KeyError` for compatibility
+    with callers of the original dict-backed lookups.
+
+    ``str()`` renders the message (not :class:`KeyError`'s ``repr`` of
+    the missing key), so handlers can show it to users directly.
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
+class DocumentLocked(ReproError):
+    """The document secret is not present on the card for this session.
+
+    The terminal never unlocked the document (or the key was revoked),
+    so no session can be run until ``unlock``/``open`` succeeds.
+    """
+
+
+class TamperDetected(ReproError):
+    """Cryptographic evidence of tampering, forgery or replay."""
+
+
+class PolicyError(ReproError):
+    """A policy or document-state precondition does not hold."""
+
+
+class UnknownDocument(PolicyError, KeyError):
+    """A document id the store has never seen.
+
+    Still a :class:`KeyError` because the store historically was a bare
+    dictionary and callers probe it with ``except KeyError``.
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
+class TransportError(ReproError):
+    """The DSP/terminal/card transport failed mid-session."""
+
+
+class ResourceExhausted(ReproError):
+    """A modeled resource limit (secure RAM, quota) was exceeded."""

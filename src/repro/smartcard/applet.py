@@ -44,6 +44,7 @@ from repro.crypto.container import (
     open_chunk,
 )
 from repro.crypto.keys import DocumentKeys
+from repro.errors import DocumentLocked, ReproError
 from repro.skipindex.decoder import (
     DecodedClose,
     DecodedOpen,
@@ -64,7 +65,7 @@ class PendingStrategy(enum.Enum):
     REFETCH = "refetch"
 
 
-class AppletError(Exception):
+class AppletError(ReproError):
     """Protocol misuse or security violation inside the applet."""
 
 
@@ -198,7 +199,12 @@ class CardApplet:
         """
         self._reset_session()
         if doc_id not in self.soe.keyring:
-            raise AppletError(f"no key provisioned for {doc_id!r}")
+            raise DocumentLocked(
+                f"no key provisioned for document {doc_id!r} "
+                f"(subject {subject!r})",
+                doc_id=doc_id,
+                subject=subject,
+            )
         self._doc_id = doc_id
         self._subject = subject
         self._groups = groups

@@ -13,7 +13,8 @@ import struct
 
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
-from repro.crypto.container import DocumentHeader, IntegrityError
+from repro.crypto.container import DocumentHeader
+from repro.errors import DocumentLocked, ResourceExhausted, TamperDetected
 from repro.smartcard.apdu import (
     BATCH_FINAL,
     BATCH_SUMMARY,
@@ -25,13 +26,11 @@ from repro.smartcard.apdu import (
     StatusWord,
 )
 from repro.smartcard.applet import AppletError, CardApplet, PendingStrategy
-from repro.smartcard.memory import CardMemoryError
 from repro.smartcard.secure_channel import (
     OP_PROVISION_KEY,
     OP_REVOKE_KEY,
     OP_SET_VERSION,
     CardSecureChannel,
-    SecureChannelError,
 )
 from repro.smartcard.soe import SecureOperatingEnvironment
 
@@ -58,6 +57,23 @@ def encode_header(header: DocumentHeader) -> bytes:
         )
         + header.tag
     )
+
+
+def encode_groups(groups: frozenset[str]) -> bytes:
+    """Serialize a subject's group set for BEGIN_SESSION.
+
+    The card parses this ``[count][len g1]g1[len g2]g2...`` block in
+    :meth:`SmartCard._begin_session`; both the pull proxy and the push
+    subscriber frame it through here so the wire format cannot drift
+    between the two paths.  Empty group sets encode to nothing.
+    """
+    if not groups:
+        return b""
+    payload = bytes([len(groups)])
+    for group in sorted(groups):
+        raw = group.encode("utf-8")
+        payload += bytes([len(raw)]) + raw
+    return payload
 
 
 def decode_header(data: bytes) -> DocumentHeader:
@@ -118,21 +134,25 @@ class SmartCard:
     # -- dispatch ------------------------------------------------------------
 
     def process(self, command: CommandAPDU) -> ResponseAPDU:
-        """Execute one APDU; security failures become status words."""
+        """Execute one APDU; security failures become status words.
+
+        The ladder maps the :mod:`repro.errors` taxonomy onto ISO
+        status words: tamper evidence (:class:`IntegrityError`,
+        :class:`SecureChannelError`) -> ``0x6982``, resource exhaustion
+        (:class:`CardMemoryError`) -> ``0x6581``, protocol misuse and
+        missing keys -> ``0x6985``, malformed payloads -> ``0x6A80``.
+        """
         try:
             return self._dispatch(command)
-        except IntegrityError:
+        except TamperDetected:
             self._abort_batch()
             return ResponseAPDU(StatusWord.SECURITY_STATUS_NOT_SATISFIED)
-        except CardMemoryError:
+        except ResourceExhausted:
             self._abort_batch()
             return ResponseAPDU(StatusWord.MEMORY_FAILURE)
-        except AppletError:
+        except (AppletError, DocumentLocked):
             self._abort_batch()
             return ResponseAPDU(StatusWord.CONDITIONS_NOT_SATISFIED)
-        except SecureChannelError:
-            self._abort_batch()
-            return ResponseAPDU(StatusWord.SECURITY_STATUS_NOT_SATISFIED)
         except (ValueError, KeyError, IndexError, struct.error):
             self._abort_batch()
             return ResponseAPDU(StatusWord.WRONG_DATA)

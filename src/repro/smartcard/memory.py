@@ -11,10 +11,12 @@ failure-injection tests exercise.
 
 from __future__ import annotations
 
+from repro.errors import ResourceExhausted
+
 DEFAULT_QUOTA = 1024  # bytes of application RAM on the e-gate card
 
 
-class CardMemoryError(MemoryError):
+class CardMemoryError(ResourceExhausted, MemoryError):
     """The applet exceeded the card's secure working memory."""
 
     def __init__(self, requested: int, used: int, quota: int) -> None:

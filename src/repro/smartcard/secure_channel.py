@@ -31,6 +31,7 @@ import hashlib
 import hmac
 import os
 
+from repro.errors import TamperDetected
 
 CHALLENGE_SIZE = 8
 FRAME_MAC_SIZE = 8
@@ -40,7 +41,7 @@ OP_SET_VERSION = 0x02
 OP_REVOKE_KEY = 0x03
 
 
-class SecureChannelError(Exception):
+class SecureChannelError(TamperDetected):
     """Authentication, integrity or ordering failure on the channel."""
 
 

@@ -11,6 +11,7 @@ E8 measures exactly that against the static-encryption baseline.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.rules import AccessRule, RuleSet
@@ -18,24 +19,47 @@ from repro.crypto.container import DocumentContainer, seal_blob, seal_document
 from repro.crypto.keys import DocumentKeys, random_key
 from repro.crypto.pki import SimulatedPKI
 from repro.dsp.store import DSPStore
+from repro.errors import PolicyError
 from repro.skipindex.encoder import IndexMode, encode_document
 from repro.xmlstream.events import Event
 
 
 @dataclass(slots=True)
 class AuthorizedResult:
-    """What an application receives from a pull query."""
+    """What an application receives from a pull query.
+
+    .. deprecated:: 1.2
+        Kept as a thin wrapper for the legacy ``Terminal.query`` path;
+        new code should iterate a
+        :class:`~repro.community.ViewStream` instead, which delivers
+        the same fragments incrementally.
+    """
 
     xml: str
     fragments: list[tuple[int, str]] = field(default_factory=list)
 
     @property
     def complete_view(self) -> str:
-        """Main view plus any out-of-order refetched fragments."""
+        """Main view plus refetched fragments in document order.
+
+        Fragments settle by document position, not arrival order:
+        refetch entry ids are assigned at skip time during the single
+        sequential pass over the document, so sorting on them restores
+        document order even when the transport replayed the byte
+        ranges out of order.
+        """
+        warnings.warn(
+            "AuthorizedResult.complete_view is deprecated; query through "
+            "repro.community and use ViewStream.text() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not self.fragments:
             return self.xml
         parts = [self.xml]
-        parts.extend(text for _, text in self.fragments)
+        parts.extend(
+            text for _, text in sorted(self.fragments, key=lambda f: f[0])
+        )
         return "".join(parts)
 
 
@@ -64,23 +88,48 @@ def _seal_rules(
 
 
 class Publisher:
-    """A document owner's publishing endpoint."""
+    """A document owner's publishing endpoint.
+
+    .. deprecated:: 1.2
+        Hand-wiring a ``Publisher`` is the legacy path; enroll a member
+        in a :class:`repro.community.Community` and call
+        ``member.publish(...)`` instead.  The shim stays because the
+        facade itself composes it.
+    """
 
     def __init__(
         self,
         owner: str,
         store: DSPStore,
         pki: SimulatedPKI,
+        _warn: bool = True,
     ) -> None:
+        if _warn:
+            warnings.warn(
+                "constructing Publisher directly is deprecated; use "
+                "repro.community.Community.enroll(...).publish(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.owner = owner
         self.store = store
         self.pki = pki
         self._secrets: dict[str, bytes] = {}
         self._versions: dict[str, int] = {}
 
+    def _secret(self, doc_id: str) -> bytes:
+        secret = self._secrets.get(doc_id)
+        if secret is None:
+            raise PolicyError(
+                f"{self.owner!r} never published a document {doc_id!r}",
+                doc_id=doc_id,
+                subject=self.owner,
+            )
+        return secret
+
     def secret_for(self, doc_id: str) -> bytes:
         """The document secret (owner side only)."""
-        return self._secrets[doc_id]
+        return self._secret(doc_id)
 
     def publish(
         self,
@@ -124,7 +173,7 @@ class Publisher:
         rights from encryption" -- zero document bytes re-encrypted,
         zero keys redistributed.
         """
-        secret = self._secrets[doc_id]
+        secret = self._secret(doc_id)
         keys = DocumentKeys(secret)
         version = self.store.get(doc_id).rules_version + 1
         records, rule_bytes = _seal_rules(rules, doc_id, version, keys)
@@ -140,7 +189,7 @@ class Publisher:
     def grant_access(self, doc_id: str, recipient: str) -> None:
         """Wrap the document secret for one more community member."""
         blob = self.pki.wrap_secret(
-            self.owner, recipient, self._secrets[doc_id]
+            self.owner, recipient, self._secret(doc_id)
         )
         self.store.put_wrapped_key(doc_id, recipient, blob)
 

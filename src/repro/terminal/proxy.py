@@ -24,19 +24,23 @@ paper's original sequential transport, byte for byte.
 
 from __future__ import annotations
 
+import codecs
 import struct
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.delivery import ViewMode
+from repro.errors import ResourceExhausted, TamperDetected, TransportError
 from repro.smartcard.apdu import (
     BatchOutcome,
     CommandAPDU,
     Instruction,
     ResponseAPDU,
+    StatusWord,
     transmit_chunk_batch,
 )
 from repro.smartcard.applet import PendingStrategy
-from repro.smartcard.card import SmartCard, encode_header
+from repro.smartcard.card import SmartCard, encode_groups, encode_header
 from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
 from repro.dsp.server import DSPServer
 from repro.terminal.transfer import TransferPolicy
@@ -46,12 +50,46 @@ _FLAG_REFETCH = 0x02
 _FLAG_PRUNE = 0x04
 
 
-class ProxyError(Exception):
+class ProxyError(TransportError):
     """A session failed (card refused, integrity violation, ...)."""
 
     def __init__(self, message: str, status: int | None = None) -> None:
         super().__init__(message)
         self.status = status
+
+
+class CardTampered(ProxyError, TamperDetected):
+    """The card reported tamper evidence (``0x6982``) mid-session."""
+
+
+class CardOutOfResources(ProxyError, ResourceExhausted):
+    """The card ran out of secure RAM (``0x6581``) mid-session."""
+
+
+def _proxy_error(message: str, status: int) -> ProxyError:
+    """The taxonomy-precise ProxyError for a card status word."""
+    if status == StatusWord.SECURITY_STATUS_NOT_SATISFIED:
+        return CardTampered(message, status=status)
+    if status == StatusWord.MEMORY_FAILURE:
+        return CardOutOfResources(message, status=status)
+    return ProxyError(message, status=status)
+
+
+@dataclass(slots=True)
+class ViewPiece:
+    """One incremental slice of an authorized view.
+
+    ``kind`` is ``"view"`` for in-order slices of the main pass and
+    ``"fragment"`` for a refetched pending subtree.  ``position`` keys
+    document order: for fragments it is the subtree's absolute
+    plaintext offset; for main-view slices it is the running character
+    offset inside the view.  ``entry_id`` is set on fragments only.
+    """
+
+    kind: str
+    text: str
+    position: int
+    entry_id: int | None = None
 
 
 @dataclass(slots=True)
@@ -95,9 +133,9 @@ class CardProxy:
         self.clock.add("link", self.link.apdu_overhead_seconds)
         self.clock.add("link", self.link.transfer_seconds(nbytes))
         if not response.ok:
-            raise ProxyError(
+            raise _proxy_error(
                 f"card error {response.sw:#06x} during {context}",
-                status=response.sw,
+                response.sw,
             )
         return response
 
@@ -148,8 +186,17 @@ class CardProxy:
         strategy: PendingStrategy = PendingStrategy.BUFFER,
         view_mode: ViewMode = ViewMode.SKELETON,
         groups: frozenset[str] = frozenset(),
+        transfer: TransferPolicy | None = None,
     ) -> QueryOutcome:
-        """Run a full pull session: fetch, filter, return the view."""
+        """Run a full pull session: fetch, filter, return the view.
+
+        Drives the same generators as :meth:`stream_query` but skips
+        the per-drain text decoding -- the buffered result needs one
+        decode at the end, so the hot path stays as cheap as before
+        the streaming API existed.  ``transfer`` overrides the proxy's
+        transport plan for this session only.
+        """
+        policy = transfer if transfer is not None else self.transfer
         metrics = SessionMetrics()
         clock_snapshot = self.clock.snapshot()
         cycles_snapshot = self.card.soe.cycles_used
@@ -168,10 +215,16 @@ class CardProxy:
         self._send_rules(doc_id, metrics)
         output = bytearray()
         chunk_cache: dict[int, bytes] = {}
-        self._stream_document(doc_id, header, metrics, output, chunk_cache)
-        fragments = self._run_refetches(
-            doc_id, header, metrics, chunk_cache
-        )
+        for __ in self._stream_document(
+            doc_id, header, metrics, output, chunk_cache, policy
+        ):
+            pass
+        fragments = [
+            (entry_id, text)
+            for entry_id, __, text in self._run_refetches(
+                doc_id, header, metrics, chunk_cache, policy
+            )
+        ]
         self._fill_card_stats(metrics)
         metrics.clock = self.clock.since(clock_snapshot)
         metrics.card_cycles = self.card.soe.cycles_used - cycles_snapshot
@@ -180,6 +233,75 @@ class CardProxy:
             fragments=fragments,
             metrics=metrics,
         )
+
+    def stream_query(
+        self,
+        doc_id: str,
+        subject: str,
+        query: str | None = None,
+        strategy: PendingStrategy = PendingStrategy.BUFFER,
+        view_mode: ViewMode = ViewMode.SKELETON,
+        groups: frozenset[str] = frozenset(),
+        outcome: QueryOutcome | None = None,
+        transfer: TransferPolicy | None = None,
+    ) -> Iterator[ViewPiece]:
+        """Run a pull session incrementally, yielding view slices.
+
+        Each :class:`ViewPiece` is yielded as soon as the card's output
+        drain produces it, *before* later chunks are fetched from the
+        DSP -- consuming the first piece therefore costs only the
+        transfers up to the first authorized output.  ``outcome`` (if
+        given) is filled in place: the full view text after the main
+        pass, fragments as they are refetched, and the session metrics
+        once the generator is exhausted.  The operation sequence is
+        identical to :meth:`query`, so clocks and metrics are
+        bit-for-bit the same however the stream is consumed.
+        """
+        if outcome is None:
+            outcome = QueryOutcome(xml="")
+        policy = transfer if transfer is not None else self.transfer
+        metrics = outcome.metrics
+        clock_snapshot = self.clock.snapshot()
+        cycles_snapshot = self.card.soe.cycles_used
+        if not self._selected:
+            self.select(metrics)
+        self._begin(doc_id, subject, query, strategy, view_mode, groups, metrics)
+        header = self.dsp.get_header(doc_id)
+        encoded_header = encode_header(header)
+        metrics.dsp_requests += 1
+        metrics.bytes_from_dsp += len(encoded_header)
+        self._transmit(
+            CommandAPDU(Instruction.PUT_HEADER, data=encoded_header),
+            metrics,
+            "put header",
+        )
+        self._send_rules(doc_id, metrics)
+        output = bytearray()
+        chunk_cache: dict[int, bytes] = {}
+        decoder = codecs.getincrementaldecoder("utf-8")()
+        emitted_bytes = 0
+        emitted_chars = 0
+        for __ in self._stream_document(
+            doc_id, header, metrics, output, chunk_cache, policy
+        ):
+            if len(output) > emitted_bytes:
+                text = decoder.decode(bytes(output[emitted_bytes:]))
+                emitted_bytes = len(output)
+                if text:
+                    yield ViewPiece("view", text, position=emitted_chars)
+                    emitted_chars += len(text)
+        tail = decoder.decode(b"", final=True)
+        if tail:
+            yield ViewPiece("view", tail, position=emitted_chars)
+        outcome.xml = output.decode("utf-8")
+        for entry_id, start, text in self._run_refetches(
+            doc_id, header, metrics, chunk_cache, policy
+        ):
+            outcome.fragments.append((entry_id, text))
+            yield ViewPiece("fragment", text, position=start, entry_id=entry_id)
+        self._fill_card_stats(metrics)
+        metrics.clock = self.clock.since(clock_snapshot)
+        metrics.card_cycles = self.card.soe.cycles_used - cycles_snapshot
 
     def _begin(
         self,
@@ -197,11 +319,7 @@ class CardProxy:
             flags |= _FLAG_HAS_QUERY
             raw = query.encode("utf-8")
             payload = struct.pack(">H", len(raw)) + raw
-        if groups:
-            payload += bytes([len(groups)])
-            for group in sorted(groups):
-                raw_group = group.encode("utf-8")
-                payload += bytes([len(raw_group)]) + raw_group
+        payload += encode_groups(groups)
         if strategy is PendingStrategy.REFETCH:
             flags |= _FLAG_REFETCH
         if view_mode is ViewMode.PRUNE:
@@ -247,10 +365,11 @@ class CardProxy:
         count: int,
         metrics: SessionMetrics,
         chunk_cache: dict[int, bytes],
+        policy: TransferPolicy,
     ) -> list[bytes]:
         """One DSP round trip for ``count`` consecutive chunks."""
         try:
-            if count == 1 and self.transfer.window == 1:
+            if count == 1 and policy.window == 1:
                 blobs = [self.dsp.get_chunk(doc_id, start)]
             else:
                 blobs = self.dsp.get_chunk_range(doc_id, start, count)
@@ -290,6 +409,7 @@ class CardProxy:
         prefetched: dict[int, bytes],
         metrics: SessionMetrics,
         chunk_cache: dict[int, bytes],
+        policy: TransferPolicy,
     ) -> None:
         """Top the prefetch window up to ``window`` chunks past cursor.
 
@@ -297,10 +417,10 @@ class CardProxy:
         DSP request -- after a skip the window may already hold its
         leading chunks, so only the holes cost a round trip.
         """
-        end = min(cursor + self.transfer.window, header.chunk_count)
+        end = min(cursor + policy.window, header.chunk_count)
         for start, count in self._missing_runs(cursor, end, prefetched):
             blobs = self._fetch_range(
-                doc_id, start, count, metrics, chunk_cache
+                doc_id, start, count, metrics, chunk_cache, policy
             )
             for offset, blob in enumerate(blobs):
                 prefetched[start + offset] = blob
@@ -311,10 +431,11 @@ class CardProxy:
         self,
         batch: list[tuple[int, bytes]],
         metrics: SessionMetrics,
+        policy: TransferPolicy,
     ) -> BatchOutcome:
         """Send one chunk batch through the shared batch protocol."""
         first, last = batch[0][0], batch[-1][0]
-        if len(batch) == 1 and self.transfer.apdu_batch == 1:
+        if len(batch) == 1 and policy.apdu_batch == 1:
             # Degenerate policy: the paper's original PUT_CHUNK path.
             index, blob = batch[0]
             response = self._transmit(
@@ -352,23 +473,31 @@ class CardProxy:
         metrics: SessionMetrics,
         output: bytearray,
         chunk_cache: dict[int, bytes],
-    ) -> None:
-        policy = self.transfer
+        policy: TransferPolicy,
+    ) -> Iterator[None]:
+        """Drive the main pass; yields after every output drain.
+
+        A generator so :meth:`stream_query` can surface freshly drained
+        output between chunk batches -- the caller decides whether to
+        keep pulling.  Exhausting it is exactly the legacy main pass.
+        """
         prefetched: dict[int, bytes] = {}
         index = 0
         while index < header.chunk_count:
             self._fill_window(
-                doc_id, header, index, prefetched, metrics, chunk_cache
+                doc_id, header, index, prefetched, metrics, chunk_cache,
+                policy,
             )
             batch_end = min(index + policy.apdu_batch, header.chunk_count)
             batch = [(i, prefetched.pop(i)) for i in range(index, batch_end)]
-            outcome = self._transmit_batch(batch, metrics)
+            outcome = self._transmit_batch(batch, metrics, policy)
             metrics.chunks_sent += len(batch) - outcome.dropped
             metrics.chunks_wasted += outcome.dropped
             metrics.bytes_wasted += outcome.dropped_bytes
             output.extend(outcome.piggyback)
             metrics.output_bytes += len(outcome.piggyback)
             self._drain_output(metrics, output, outcome.response)
+            yield None
             if outcome.done:
                 break
             last_sent = batch[-1][0]
@@ -395,6 +524,7 @@ class CardProxy:
         )
         self._refetch_entries = self._parse_refetch_pages(response, metrics)
         self._drain_output(metrics, output, response)
+        yield None
 
     def _parse_refetch_pages(
         self, first: ResponseAPDU, metrics: SessionMetrics
@@ -425,8 +555,15 @@ class CardProxy:
         header,
         metrics: SessionMetrics,
         chunk_cache: dict[int, bytes],
-    ) -> list[tuple[int, str]]:
-        fragments: list[tuple[int, str]] = []
+        policy: TransferPolicy,
+    ) -> Iterator[tuple[int, int, str]]:
+        """Replay granted pending subtrees; yields per settled fragment.
+
+        Each yield is ``(entry_id, start, text)`` where ``start`` is
+        the subtree's absolute plaintext offset -- entry ids are
+        assigned at skip time during the sequential main pass, so both
+        keys increase in document order.
+        """
         for entry_id, start, end in getattr(self, "_refetch_entries", []):
             metrics.refetch_count += 1
             sink = bytearray()
@@ -442,7 +579,7 @@ class CardProxy:
             first_chunk = start // header.chunk_size
             last_chunk = (end - 1) // header.chunk_size
             self._fetch_refetch_range(
-                doc_id, first_chunk, last_chunk, metrics, chunk_cache
+                doc_id, first_chunk, last_chunk, metrics, chunk_cache, policy
             )
             for index in range(first_chunk, last_chunk + 1):
                 blob = chunk_cache[index]
@@ -461,8 +598,7 @@ class CardProxy:
                 self._drain_output(metrics, sink, response)
                 if done:
                     break
-            fragments.append((entry_id, sink.decode("utf-8")))
-        return fragments
+            yield entry_id, start, sink.decode("utf-8")
 
     def _fetch_refetch_range(
         self,
@@ -471,12 +607,15 @@ class CardProxy:
         last_chunk: int,
         metrics: SessionMetrics,
         chunk_cache: dict[int, bytes],
+        policy: TransferPolicy,
     ) -> None:
         """Fetch the cache's holes in [first, last], run by ranged run."""
         for start, count in self._missing_runs(
             first_chunk, last_chunk + 1, chunk_cache
         ):
-            self._fetch_range(doc_id, start, count, metrics, chunk_cache)
+            self._fetch_range(
+                doc_id, start, count, metrics, chunk_cache, policy
+            )
 
     def _fill_card_stats(self, metrics: SessionMetrics) -> None:
         soe = self.card.soe

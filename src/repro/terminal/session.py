@@ -9,10 +9,13 @@ entire pull sessions through the card.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.crypto.pki import SimulatedPKI
 from repro.dsp.server import DSPServer
+from repro.errors import DocumentLocked
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.card import SmartCard
 from repro.smartcard.resources import LinkModel, SessionMetrics
@@ -23,7 +26,14 @@ from repro.terminal.transfer import TransferPolicy
 
 
 class Terminal:
-    """A user terminal hosting a smart card (Figure 3)."""
+    """A user terminal hosting a smart card (Figure 3).
+
+    .. deprecated:: 1.2
+        Hand-wiring a ``Terminal`` is the legacy path; enroll a member
+        in a :class:`repro.community.Community` and use
+        ``member.open(document)`` sessions instead.  The shim stays
+        because the facade itself composes it.
+    """
 
     def __init__(
         self,
@@ -36,7 +46,15 @@ class Terminal:
         strict_memory: bool = True,
         registry: PolicyRegistry | None = None,
         transfer: TransferPolicy | None = None,
+        _warn: bool = True,
     ) -> None:
+        if _warn:
+            warnings.warn(
+                "constructing Terminal directly is deprecated; use "
+                "repro.community.Community.enroll(...).open(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.user = user
         self.dsp = dsp
         self.pki = pki
@@ -81,9 +99,21 @@ class Terminal:
 
         ``groups`` carries the user's roles -- rules written for any of
         them apply alongside rules written for the user by name.
+
+        Raises :class:`~repro.errors.DocumentLocked` when the document
+        was never unlocked on this terminal's card and no ``owner`` is
+        given to unlock it now.
         """
         if owner is not None:
             self.unlock_document(doc_id, owner)
+        elif doc_id not in self.card.soe.keyring:
+            raise DocumentLocked(
+                f"document {doc_id!r} was never unlocked on "
+                f"{self.user!r}'s card; pass owner= or call "
+                "unlock_document first",
+                doc_id=doc_id,
+                subject=self.user,
+            )
         outcome = self.proxy.query(
             doc_id,
             subject or self.user,

@@ -1,0 +1,144 @@
+"""Push/carousel dissemination through community.channel(...)."""
+
+import pytest
+
+from repro.community import Community
+from repro.core.nfa import compile_call_count
+from repro.errors import PolicyError, ResourceExhausted, TamperDetected
+from repro.terminal.transfer import TransferPolicy
+
+TIER_RULES = [("+", "viewers", "/tv"), ("-", "viewers", "//adult")]
+VIEWERS = frozenset({"viewers"})
+
+
+def _broadcast_community(n_subscribers, cycles=1, transfer=None):
+    community = Community()
+    owner = community.enroll("owner")
+    members = [
+        community.enroll(f"sub{i}", strict_memory=False)
+        for i in range(n_subscribers)
+    ]
+    body = "".join(
+        f"<show><title>t{i}</title><adult>x{i}</adult></show>"
+        for i in range(10)
+    )
+    doc = owner.publish(
+        f"<tv>{body}</tv>", TIER_RULES, to=members, doc_id="tv"
+    )
+    channel = community.channel(doc)
+    handles = [
+        channel.subscribe(member, groups=VIEWERS, transfer=transfer)
+        for member in members
+    ]
+    return community, channel, handles
+
+
+def test_channel_is_cached_per_document():
+    community, channel, __ = _broadcast_community(1)
+    assert community.channel("tv") is channel
+    assert community.channel(community.document("tv")) is channel
+
+
+def test_broadcast_filters_per_card_and_charges_once():
+    __, channel, handles = _broadcast_community(3)
+    channel.broadcast()
+    for handle in handles:
+        assert handle.ok
+        handle.require_ok()  # no exception
+        assert "<title>" in handle.view
+        assert "<adult>" not in handle.view
+    # Broadcast bytes are audience-independent: sent exactly once.
+    container = channel.document.container
+    sent = channel.broadcast_channel.bytes_broadcast
+    assert sent < 2 * container.stored_size
+
+
+def test_ten_subscriber_broadcast_compiles_nothing_extra():
+    """Acceptance: one shared evaluation pass -- a 10-subscriber
+    broadcast adds ZERO compile_path calls over a 1-subscriber one."""
+    __, channel_one, __ = _broadcast_community(1)
+    before = compile_call_count()
+    channel_one.broadcast()
+    compiles_for_one = compile_call_count() - before
+
+    __, channel_ten, handles = _broadcast_community(10)
+    before = compile_call_count()
+    channel_ten.broadcast()
+    compiles_for_ten = compile_call_count() - before
+
+    assert all(handle.ok for handle in handles)
+    assert compiles_for_ten == compiles_for_one
+
+
+def test_preview_matches_every_card_in_one_pass():
+    __, channel, handles = _broadcast_community(5)
+    before = compile_call_count()
+    preview = channel.preview()
+    channel.broadcast()
+    assert compile_call_count() - before <= 2  # tier compiled once, shared
+    for handle in handles:
+        assert handle.view == preview[handle.member.name]
+
+
+def test_carousel_cycles_and_late_joiner():
+    community, channel, handles = _broadcast_community(1)
+    latecomer = community.enroll("latecomer", strict_memory=False)
+    channel.document.grant(latecomer)
+    late = channel.subscribe(latecomer, groups=VIEWERS, late=True)
+    channel.broadcast(cycles=2)
+    assert channel.cycles_sent == 2
+    assert late.ok
+    assert late.view == handles[0].view
+
+
+def test_batched_subscriber_transport_is_view_identical():
+    __, seq_channel, sequential = _broadcast_community(1)
+    __, batch_channel, batched = _broadcast_community(
+        1, transfer=TransferPolicy(window=4, apdu_batch=4)
+    )
+    seq_channel.broadcast()
+    batch_channel.broadcast()
+    assert batched[0].ok and sequential[0].ok
+    assert batched[0].view == sequential[0].view
+    assert batched[0].metrics.apdu_count < sequential[0].metrics.apdu_count
+
+
+def test_subscribing_the_same_member_twice_is_refused():
+    community, channel, __ = _broadcast_community(1)
+    with pytest.raises(PolicyError, match="already subscribed"):
+        channel.subscribe(community.member("sub0"), groups=VIEWERS)
+
+
+def test_exhausted_subscriber_card_raises_resource_exhausted():
+    community = Community()
+    owner = community.enroll("owner")
+    # A quota even the compiled automata cannot fit into: the card
+    # reports MEMORY_FAILURE (0x6581) on the first chunk.
+    tiny = community.enroll("tiny", ram_quota=16, strict_memory=True)
+    body = "".join(f"<show><title>t{i}</title></show>" for i in range(12))
+    doc = owner.publish(
+        f"<tv>{body}</tv>", [("+", "tiny", "//show/title")], to=[tiny],
+        doc_id="tv",
+    )
+    channel = community.channel(doc)
+    handle = channel.subscribe(tiny)
+    channel.broadcast()
+    assert not handle.ok
+    with pytest.raises(ResourceExhausted):
+        handle.require_ok()
+
+
+def test_tampered_broadcast_raises_typed_error():
+    __, channel, handles = _broadcast_community(1)
+
+    def corrupt(kind, index, payload):
+        if kind == "chunk" and index == 2:
+            return bytes([payload[0] ^ 0xFF]) + payload[1:]
+        return payload
+
+    channel.set_tamper(corrupt)
+    channel.broadcast()
+    handle = handles[0]
+    assert not handle.ok
+    with pytest.raises(TamperDetected, match="0x6982"):
+        handle.require_ok()

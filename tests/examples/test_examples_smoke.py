@@ -1,0 +1,42 @@
+"""Smoke-run every example so the demos cannot rot silently.
+
+Each ``examples/*.py`` runs in a subprocess with the repo's ``src`` on
+``PYTHONPATH``; a nonzero exit or an empty stdout fails the test.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"
+
+
+def test_the_examples_exist():
+    assert len(EXAMPLES) >= 5

@@ -5,6 +5,7 @@ import pytest
 from repro.core import AccessRule, RuleSet, reference_view
 from repro.crypto.container import IntegrityError, seal_blob, seal_document
 from repro.crypto.keys import DocumentKeys
+from repro.errors import DocumentLocked
 from repro.skipindex.encoder import IndexMode, encode_document
 from repro.smartcard.applet import AppletError, CardApplet, PendingStrategy
 from repro.smartcard.soe import SecureOperatingEnvironment
@@ -64,8 +65,10 @@ def test_full_session_produces_authorized_view():
 
 def test_session_requires_provisioned_key():
     applet = CardApplet(SecureOperatingEnvironment())
-    with pytest.raises(AppletError):
+    with pytest.raises(DocumentLocked) as info:
         applet.begin_session("unknown", "u")
+    assert "'unknown'" in str(info.value)
+    assert info.value.doc_id == "unknown"
 
 
 def test_header_for_other_document_rejected():
