@@ -1,0 +1,195 @@
+"""E15 -- DSP deployment topologies: per-backend pull cost.
+
+The DSP is a *service* with pluggable storage; this experiment prices
+the three deployment topologies on the E1 hospital corpus:
+
+* ``memory``   -- the historical in-process dict (the zero-copy
+  baseline every other experiment runs on);
+* ``sqlite``   -- the durable WAL-mode file backend, same process;
+* ``served``   -- the SQLite store behind the TCP socket server, the
+  terminal pulling through a :class:`~repro.dsp.remote.RemoteDSP`.
+
+Reported per topology: publish wall time, cold and warm pull session
+wall time (and warm throughput over plaintext bytes), DSP round trips
+per warm session, and whether the authorized view is byte-identical to
+the memory baseline (it must be -- the topology moves bytes, never
+changes them).
+
+Expected shape: the SQLite backend pays a small publish premium (the
+commit) and almost nothing per warm pull (reads come from the
+assembled-document cache); the served topology adds the socket codec
+per round trip, so its wall time tracks the request *count* -- the E13
+transfer window is the lever that keeps it flat.
+
+Usage::
+
+    python benchmarks/bench_e15_backends.py             # full corpus
+    python benchmarks/bench_e15_backends.py --quick     # CI smoke
+    python benchmarks/bench_e15_backends.py --json BENCH_E15.json
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _common import emit
+
+from repro.community import Community
+from repro.dsp.remote import RemoteDSP
+from repro.terminal.transfer import TransferPolicy
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+CHUNK = 64  # the E1 corpus chunking
+DOC_ID = "hospital"
+SUBJECT = "doctor"
+TOPOLOGIES = ("memory", "sqlite", "served")
+
+HEADERS = [
+    "topology", "publish (s)", "cold pull (s)", "warm pull (s)",
+    "warm MB/s", "dsp req/pull", "identical",
+]
+
+
+def _measure_topology(topology, events, warm_sessions, tmp, window):
+    """One topology end to end; returns its row measurements."""
+    store_path = None if topology == "memory" else Path(tmp) / f"{topology}.db"
+    community = Community(store_path=store_path)
+    owner = community.enroll("owner")
+    # Same card model as the harness: the corpus documents outgrow the
+    # default strict 1 KB quota.
+    reader = community.enroll(SUBJECT, strict_memory=False)
+    start = time.perf_counter()
+    document = owner.publish(
+        events, hospital_rules(), to=[reader], doc_id=DOC_ID,
+        chunk_size=CHUNK,
+    )
+    publish_s = time.perf_counter() - start
+    plaintext_bytes = document.container.header.total_length
+    transfer = TransferPolicy.windowed(window) if window > 1 else None
+
+    server = None
+    client = None
+    if topology == "served":
+        server = community.serve()
+        client = RemoteDSP.connect(server.address)
+        attached = Community.attach(client)
+        puller = attached.enroll(SUBJECT, strict_memory=False)
+        target = attached.adopt(DOC_ID, "owner")
+        requests_of = lambda: client.requests  # noqa: E731
+    else:
+        puller = reader
+        target = document
+        requests_of = lambda: community.dsp.requests  # noqa: E731
+
+    start = time.perf_counter()
+    with puller.open(target, transfer=transfer) as session:
+        view = session.query().text()
+    cold_s = time.perf_counter() - start
+
+    before_requests = requests_of()
+    start = time.perf_counter()
+    for __ in range(warm_sessions):
+        with puller.open(target, transfer=transfer) as session:
+            warm_view = session.query().text()
+    warm_s = (time.perf_counter() - start) / warm_sessions
+    requests_per_pull = (requests_of() - before_requests) / warm_sessions
+
+    if client is not None:
+        client.close()
+    if server is not None:
+        server.close()
+    community.close()
+    return {
+        "publish_s": publish_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_mbps": plaintext_bytes / warm_s / 1e6,
+        "requests_per_pull": requests_per_pull,
+        "view": view,
+        "warm_view": warm_view,
+    }
+
+
+def run_experiment(patients=10, warm_sessions=10, window=8):
+    events = list(tree_to_events(hospital(n_patients=patients)))
+    rows = []
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for topology in TOPOLOGIES:
+            results[topology] = _measure_topology(
+                topology, events, warm_sessions, tmp, window
+            )
+    reference = results["memory"]
+    for topology in TOPOLOGIES:
+        r = results[topology]
+        identical = (
+            r["view"] == reference["view"]
+            and r["warm_view"] == reference["view"]
+        )
+        rows.append([
+            topology,
+            r["publish_s"],
+            r["cold_s"],
+            r["warm_s"],
+            r["warm_mbps"],
+            r["requests_per_pull"],
+            "yes" if identical else "NO",
+        ])
+    title = (
+        f"E15: pull cost per DSP topology (E1 corpus, {patients} patients, "
+        f"window/batch {window}, {warm_sessions} warm sessions)"
+    )
+    return title, HEADERS, rows
+
+
+def test_e15_backends(benchmark):
+    events = list(tree_to_events(hospital(n_patients=5)))
+    with tempfile.TemporaryDirectory() as tmp:
+        benchmark.pedantic(
+            lambda: _measure_topology("sqlite", events, 2, tmp, 8),
+            rounds=3,
+            iterations=1,
+        )
+    emit(*run_experiment())
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small corpus, few warm sessions",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None)
+    args = parser.parse_args()
+    if args.quick:
+        title, headers, rows = run_experiment(
+            patients=3, warm_sessions=3, window=8
+        )
+    else:
+        title, headers, rows = run_experiment()
+    emit(title, headers, rows)
+    failures = [row for row in rows if row[-1] != "yes"]
+    if failures:
+        print("VIEW MISMATCH:", failures, file=sys.stderr)
+        sys.exit(1)
+    if args.json is not None:
+        payload = {
+            "suite": "repro-smartcard-sdds",
+            "experiments": {
+                "bench_e15_backends": {
+                    "title": title,
+                    "headers": list(headers),
+                    "rows": [list(row) for row in rows],
+                }
+            },
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")

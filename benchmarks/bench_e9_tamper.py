@@ -48,34 +48,35 @@ def run_experiment():
 
     store, dsp, pki, __ = _fresh_stack()
     container = store.get("d").container
-    store.put_document(tamper.corrupt_chunk(container, 5))
+    tamper.install(store, tamper.corrupt_chunk(container, 5))
     detected, where = _attempt(dsp, pki)
     rows.append(["chunk modification (bit-flip)", detected, where])
 
     store, dsp, pki, __ = _fresh_stack()
     container = store.get("d").container
-    store.put_document(tamper.swap_chunks(container, 1, 3))
+    tamper.install(store, tamper.swap_chunks(container, 1, 3))
     detected, where = _attempt(dsp, pki)
     rows.append(["chunk reordering", detected, where])
 
     store, dsp, pki, publisher = _fresh_stack()
     publisher.publish("o", parse_string(DOC), RULES, ["u"], chunk_size=64)
     container = store.get("d").container
-    store.put_document(
-        tamper.substitute_chunk(container, 2, store.get("o").container, 2)
+    tamper.install(
+        store,
+        tamper.substitute_chunk(container, 2, store.get("o").container, 2),
     )
     detected, where = _attempt(dsp, pki)
     rows.append(["cross-document substitution", detected, where])
 
     store, dsp, pki, __ = _fresh_stack()
     container = store.get("d").container
-    store.put_document(tamper.truncate(container, keep=3))
+    tamper.install(store, tamper.truncate(container, keep=3))
     detected, where = _attempt(dsp, pki)
     rows.append(["truncation, forged header", detected, where])
 
     store, dsp, pki, __ = _fresh_stack()
     container = store.get("d").container
-    store.put_document(tamper.truncate_keeping_header(container, keep=3))
+    tamper.install(store, tamper.truncate_keeping_header(container, keep=3))
     detected, where = _attempt(dsp, pki)
     rows.append(["truncation, original header", detected, where])
 
@@ -85,7 +86,7 @@ def run_experiment():
                       RULES, ["u"], chunk_size=64)
     terminal = Terminal("u", dsp, pki)
     terminal.query("d", owner="owner")  # card's register moves to v2
-    store.put_document(tamper.replay(stale))
+    tamper.install(store, tamper.replay(stale))
     detected, where = _attempt(dsp, pki, terminal)
     rows.append(["stale-version replay", detected, where])
 
@@ -102,7 +103,7 @@ def run_experiment():
 def test_e9_tamper(benchmark):
     def one_detection():
         store, dsp, pki, __ = _fresh_stack()
-        store.put_document(tamper.corrupt_chunk(store.get("d").container, 5))
+        tamper.install(store, tamper.corrupt_chunk(store.get("d").container, 5))
         return _attempt(dsp, pki)
 
     benchmark.pedantic(one_detection, rounds=3, iterations=1)

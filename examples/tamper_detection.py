@@ -57,10 +57,10 @@ def main() -> None:
     print()
     print("attacks by the compromised DSP:")
 
-    store.put_document(tamper.corrupt_chunk(pristine, 4))
+    tamper.install(store, tamper.corrupt_chunk(pristine, 4))
     attempt("bit-flip inside a chunk", community, vault)
 
-    store.put_document(tamper.swap_chunks(pristine, 2, 7))
+    tamper.install(store, tamper.swap_chunks(pristine, 2, 7))
     attempt("chunk reordering", community, vault)
 
     decoy = owner.publish(
@@ -71,17 +71,17 @@ def main() -> None:
         chunk_size=64,
     )
     other = store.get(decoy.doc_id).container
-    store.put_document(tamper.substitute_chunk(pristine, 1, other, 0))
+    tamper.install(store, tamper.substitute_chunk(pristine, 1, other, 0))
     attempt("cross-document substitution", community, vault)
 
-    store.put_document(tamper.truncate(pristine, keep=3))
+    tamper.install(store, tamper.truncate(pristine, keep=3))
     attempt("truncation w/ forged header", community, vault)
 
-    store.put_document(tamper.truncate_keeping_header(pristine, keep=3))
+    tamper.install(store, tamper.truncate_keeping_header(pristine, keep=3))
     attempt("truncation w/ original header", community, vault)
 
     # Version replay: needs a card that has already seen the new version.
-    store.put_document(pristine)
+    tamper.install(store, pristine)  # restore the honest container
     with reader.open(vault) as session:
         session.query().finish()  # card register -> v1
     owner.publish(
@@ -93,7 +93,7 @@ def main() -> None:
     )
     with reader.open(vault) as session:
         session.query().finish()  # card register -> v2
-    store.put_document(tamper.replay(pristine))
+    tamper.install(store, tamper.replay(pristine))
     attempt("stale-version replay", community, vault, member=reader)
 
 

@@ -127,7 +127,7 @@ class Channel:
             )
         doc = self.document
         member.terminal.unlock_document(doc.doc_id, doc.owner.name)
-        stored = self.community.store.get(doc.doc_id)
+        stored = self.community._require_store().get(doc.doc_id)
         subscriber = Subscriber(
             member.name,
             member.terminal.card,
@@ -180,13 +180,22 @@ class Channel:
         of one parse, against the same compiled-policy registry the
         cards use.
         """
+        events = self.document.events
+        rules = self.document.rules
+        if events is None or rules is None:
+            raise PolicyError(
+                f"document {self.document.doc_id!r} is a sealed handle; "
+                "previews need the owner's plaintext, which only the "
+                "publishing process holds",
+                doc_id=self.document.doc_id,
+            )
         subjects = [
             Subject(handle.member.name, handle.subscriber.groups)
             for handle in self._handles
         ]
         return self.publisher.preview_views(
-            self.document.events,
-            self.document.rules,
+            events,
+            rules,
             subjects,
             default=Sign.DENY,
             mode=mode,

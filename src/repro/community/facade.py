@@ -19,6 +19,18 @@ hands out object handles instead:
   :class:`~repro.community.channels.Channel` (the push/carousel path
   under the same handle model).
 
+The facade also owns the **deployment topology** (the DSP is an
+untrusted *service*, not a Python object):
+
+* ``Community()`` -- in-process and volatile, the historical default;
+* ``Community(store_path="dsp.db")`` -- the DSP's disk is a durable
+  SQLite file; ``Community.open(path)`` reopens it in a fresh process
+  with every document, rule version and wrapped key intact;
+* ``community.serve()`` -- expose the DSP over TCP
+  (:class:`~repro.dsp.remote.DSPSocketServer`);
+  ``Community.attach(RemoteDSP.connect(addr))`` builds a reader-side
+  community in another process whose terminals pull from it.
+
 Because every member's card shares the community's policy registry,
 repeated sessions -- and whole subscriber fleets on the same tier --
 compile each distinct sub-policy exactly once.
@@ -29,6 +41,8 @@ Failures surface as the :mod:`repro.errors` taxonomy, never as bare
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Iterable, Sequence, Union
 
 from repro.community.channels import Channel
@@ -37,6 +51,9 @@ from repro.core.compiled import PolicyRegistry
 from repro.core.rules import AccessRule, RuleSet
 from repro.crypto.container import DocumentContainer
 from repro.crypto.pki import SimulatedPKI
+from repro.dsp.backends import SQLiteBackend, StoreBackend
+from repro.dsp.client import DSPClient
+from repro.dsp.remote import DSPSocketServer
 from repro.dsp.server import DSPServer
 from repro.dsp.store import DSPStore
 from repro.errors import PolicyError, UnknownDocument
@@ -58,6 +75,10 @@ RuleLike = Union[AccessRule, "tuple[str, str, str]"]
 
 #: What ``member.publish`` accepts as the policy.
 RulesLike = Union[RuleSet, Iterable[RuleLike]]
+
+#: The ``meta`` key the deployment manifest is stored under in a
+#: durable backend.
+_MANIFEST_KEY = "community:manifest"
 
 
 def _as_events(source: DocumentSource) -> list[Event]:
@@ -87,6 +108,14 @@ class Community:
     compiled-policy ``registry``.  All of them remain reachable as
     attributes, so code that needs the lower layers (benchmarks,
     tamper injection) can still touch them directly.
+
+    Topology knobs: ``store_path`` (or a prebuilt ``backend``) makes
+    the DSP's disk a durable SQLite file; ``client`` *attaches* the
+    community to a DSP served elsewhere, in which case there is no
+    local ``store`` and ``dsp`` is the given
+    :class:`~repro.dsp.client.DSPClient`.  Attached communities read
+    (``adopt`` + ``member.open``); publishing needs the process that
+    owns the store.
     """
 
     def __init__(
@@ -96,16 +125,211 @@ class Community:
         network: NetworkModel | None = None,
         store: DSPStore | None = None,
         registry: PolicyRegistry | None = None,
+        store_path: "str | Path | None" = None,
+        backend: StoreBackend | None = None,
+        client: DSPClient | None = None,
     ) -> None:
-        self.clock = clock if clock is not None else SimClock()
-        self.store = store if store is not None else DSPStore()
-        self.dsp = DSPServer(self.store, network=network, clock=self.clock)
+        given = [
+            name
+            for name, value in (
+                ("store", store),
+                ("store_path", store_path),
+                ("backend", backend),
+                ("client", client),
+            )
+            if value is not None
+        ]
+        if len(given) > 1:
+            raise PolicyError(
+                "pass at most one of store/store_path/backend/client "
+                f"(got {', '.join(given)})"
+            )
+        self.store: DSPStore | None
+        self.dsp: DSPClient
+        if client is not None:
+            if network is not None:
+                raise PolicyError(
+                    "network= models the served DSP's transport and is "
+                    "ignored by an attached client; configure it on the "
+                    "serving community"
+                )
+            self.store = None
+            self.dsp = client
+            self.clock = clock if clock is not None else client.clock
+        else:
+            if backend is not None:
+                store = DSPStore(backend)
+            elif store_path is not None:
+                store = DSPStore(SQLiteBackend(store_path))
+            elif store is None:
+                store = DSPStore()
+            self.store = store
+            self.clock = clock if clock is not None else SimClock()
+            self.dsp = DSPServer(store, network=network, clock=self.clock)
         self.pki = SimulatedPKI()
         self.registry = registry if registry is not None else PolicyRegistry()
         self._members: dict[str, Member] = {}
         self._documents: dict[str, Document] = {}
         self._channels: dict[str, Channel] = {}
         self._doc_sequence = 0
+        self._servers: list[DSPSocketServer] = []
+        self._restoring = False
+
+    # -- topology ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: "str | Path",
+        *,
+        clock: SimClock | None = None,
+        network: NetworkModel | None = None,
+        registry: PolicyRegistry | None = None,
+    ) -> "Community":
+        """Reopen a community persisted to a SQLite store file.
+
+        Everything the DSP held -- documents, rule versions, wrapped
+        keys -- is intact, and the deployment manifest (member names
+        and card configs, document owners and recipients) is restored,
+        so reader sessions work immediately: the simulated PKI derives
+        each principal's key pair deterministically from its name, so
+        re-enrolled members unwrap their stored wrapped keys.
+
+        Owner *plaintext* state (document events, rules, the publisher
+        secrets) is deliberately not persisted at the untrusted store;
+        restored :class:`Document` handles are **sealed** -- pull
+        sessions and broadcasts work, ``update_rules``/``grant``/
+        ``preview`` need the original owner process.
+        """
+        if not Path(path).exists():
+            raise PolicyError(
+                f"no community store at {path} (Community.open reopens an "
+                "existing file; pass store_path= to create one)"
+            )
+        community = cls(
+            store_path=path, clock=clock, network=network, registry=registry
+        )
+        meta = community._meta_backend()
+        raw = meta.get_meta(_MANIFEST_KEY) if meta is not None else None
+        if raw is not None:
+            manifest = json.loads(raw)
+            community._restoring = True
+            try:
+                for name, config in manifest.get("members", {}).items():
+                    community.enroll(
+                        name,
+                        ram_quota=config.get("ram_quota"),
+                        strict_memory=bool(config.get("strict_memory", True)),
+                    )
+                for doc_id, info in manifest.get("documents", {}).items():
+                    community.adopt(doc_id, info["owner"])
+                    community._documents[doc_id].recipients = list(
+                        info.get("recipients", [])
+                    )
+                community._doc_sequence = int(
+                    manifest.get("doc_sequence", 0)
+                )
+            finally:
+                community._restoring = False
+        return community
+
+    @classmethod
+    def attach(
+        cls,
+        client: DSPClient,
+        *,
+        registry: PolicyRegistry | None = None,
+    ) -> "Community":
+        """A reader-side community over a DSP served elsewhere.
+
+        ``client`` is typically
+        ``RemoteDSP.connect(server.address)``.  Members enrolled here
+        derive the same deterministic key pairs as in the serving
+        process, so a member the owner granted a key to can ``adopt``
+        the document and open pull sessions from this process.  The
+        client stays caller-owned: closing the community does not
+        close it.
+        """
+        return cls(client=client, registry=registry)
+
+    def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> DSPSocketServer:
+        """Expose this community's DSP over TCP.
+
+        Returns the running :class:`~repro.dsp.remote.DSPSocketServer`
+        (``server.address`` is the bound endpoint; ``port=0`` picks an
+        ephemeral port).  Many remote terminals can pull concurrently;
+        the server is also closed by :meth:`close`.
+        """
+        dsp = self.dsp
+        if not isinstance(dsp, DSPServer):
+            raise PolicyError(
+                "this community is attached to a remote DSP; only the "
+                "process that owns the store can serve it"
+            )
+        server = DSPSocketServer(dsp, host=host, port=port)
+        self._servers.append(server)
+        return server
+
+    def close(self) -> None:
+        """Shut down served endpoints and the durable store (idempotent)."""
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "Community":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_store(self) -> DSPStore:
+        if self.store is None:
+            raise PolicyError(
+                "this community is attached to a remote DSP; the store "
+                "lives in the serving process"
+            )
+        return self.store
+
+    def _meta_backend(self) -> SQLiteBackend | None:
+        if self.store is None:
+            return None
+        backend = self.store.backend
+        return backend if isinstance(backend, SQLiteBackend) else None
+
+    def _save_manifest(self) -> None:
+        """Persist the deployment manifest next to a durable store.
+
+        Only names and grant lists -- data the untrusted DSP already
+        learns from uploads and wrapped-key recipients -- never key
+        material or plaintext.
+        """
+        if self._restoring:
+            return
+        meta = self._meta_backend()
+        if meta is None:
+            return
+        manifest = {
+            "members": {
+                name: {
+                    "ram_quota": member._card_config[0],
+                    "strict_memory": member._card_config[1],
+                }
+                for name, member in self._members.items()
+            },
+            "documents": {
+                doc_id: {
+                    "owner": document.owner.name,
+                    "recipients": list(document.recipients),
+                }
+                for doc_id, document in self._documents.items()
+            },
+            "doc_sequence": self._doc_sequence,
+        }
+        meta.put_meta(_MANIFEST_KEY, json.dumps(manifest, sort_keys=True))
 
     # -- membership -------------------------------------------------------
 
@@ -137,6 +361,7 @@ class Community:
         self.pki.enroll(name)
         member = Member(self, name, card_config)
         self._members[name] = member
+        self._save_manifest()
         return member
 
     def member(self, name: str) -> "Member":
@@ -167,6 +392,40 @@ class Community:
     @property
     def documents(self) -> "list[Document]":
         return list(self._documents.values())
+
+    def adopt(self, doc_id: str, owner: "Member | str") -> "Document":
+        """A sealed handle for a document published elsewhere.
+
+        Used by attached communities (the document lives at the served
+        DSP) and by :meth:`open` while restoring the manifest.  The
+        handle supports the reader side -- ``member.open`` sessions,
+        broadcasts from the stored container -- but carries no owner
+        plaintext: ``update_rules``/``grant``/``preview`` raise
+        :class:`~repro.errors.PolicyError` until the owning process
+        does them.  Enrolls ``owner`` on demand (deterministic PKI
+        keys make that match the serving process).
+        """
+        existing = self._documents.get(doc_id)
+        if isinstance(owner, Member):
+            owner_member = owner
+        else:
+            # An already-enrolled owner keeps its card config; enroll
+            # with defaults only a principal this community never saw.
+            member = self._members.get(owner)
+            owner_member = member if member is not None else self.enroll(owner)
+        if existing is not None:
+            if existing.owner is not owner_member:
+                raise PolicyError(
+                    f"document {doc_id!r} belongs to "
+                    f"{existing.owner.name!r}, not {owner_member.name!r}",
+                    doc_id=doc_id,
+                    subject=owner_member.name,
+                )
+            return existing
+        document = Document(owner_member, doc_id, None, None, [], None)
+        self._documents[doc_id] = document
+        self._save_manifest()
+        return document
 
     def _next_doc_id(self, owner: str) -> str:
         self._doc_sequence += 1
@@ -217,7 +476,7 @@ class Member:
         if self._publisher is None:
             self._publisher = Publisher(
                 self.name,
-                self.community.store,
+                self.community._require_store(),
                 self.community.pki,
                 _warn=False,
             )
@@ -287,9 +546,11 @@ class Member:
         )
         if existing is not None:
             existing._update(events, ruleset, recipients, receipt)
+            community._save_manifest()
             return existing
         document = Document(self, doc_id, events, ruleset, recipients, receipt)
         community._documents[doc_id] = document
+        community._save_manifest()
         return document
 
     # -- reader side ------------------------------------------------------
@@ -325,16 +586,21 @@ class Document:
     The handle retains the owner's plaintext events and current rules
     -- the owner has them by definition -- so dissemination previews
     can run without touching ciphertext.
+
+    A handle restored by ``Community.open`` or created by
+    ``Community.adopt`` is **sealed**: ``events``/``rules``/``receipt``
+    are ``None`` (the owner's plaintext is never persisted at the
+    untrusted store), so only the reader-side operations work.
     """
 
     def __init__(
         self,
         owner: Member,
         doc_id: str,
-        events: list[Event],
-        rules: RuleSet,
+        events: "list[Event] | None",
+        rules: RuleSet | None,
         recipients: list[str],
-        receipt: PublishReceipt,
+        receipt: PublishReceipt | None,
     ) -> None:
         self.owner = owner
         self.doc_id = doc_id
@@ -345,6 +611,11 @@ class Document:
 
     def __repr__(self) -> str:
         return f"Document({self.doc_id!r}, owner={self.owner.name!r})"
+
+    @property
+    def sealed(self) -> bool:
+        """Whether this handle lacks the owner's plaintext state."""
+        return self.events is None
 
     def _update(
         self,
@@ -363,7 +634,9 @@ class Document:
     @property
     def container(self) -> DocumentContainer:
         """The sealed container as stored at the DSP."""
-        return self.owner.publisher.container(self.doc_id)
+        return (
+            self.owner.community._require_store().get(self.doc_id).container
+        )
 
     def update_rules(self, rules: RulesLike) -> PublishReceipt:
         """Change the policy; re-seals ONLY the tiny rule records."""
@@ -380,6 +653,7 @@ class Document:
         self.owner.publisher.grant_access(self.doc_id, name)
         if name not in self.recipients:
             self.recipients.append(name)
+        self.owner.community._save_manifest()
 
     def revoke(self, member: "Member | str") -> bool:
         """Remove a member's wrapped key from the DSP.
@@ -391,9 +665,10 @@ class Document:
         encryption.
         """
         name = member.name if isinstance(member, Member) else member
-        removed = self.owner.community.store.remove_wrapped_key(
+        removed = self.owner.community._require_store().remove_wrapped_key(
             self.doc_id, name
         )
         if name in self.recipients:
             self.recipients.remove(name)
+        self.owner.community._save_manifest()
         return removed

@@ -5,12 +5,47 @@ encrypted access rules.  Both are encrypted using secret keys exchanged
 between users thanks to a public key infrastructure" (Section 3).
 
 The DSP sees only ciphertext; it can serve chunks by index (pull) or
-push them (dissemination).  :mod:`repro.dsp.tamper` implements the
-adversarial behaviours -- substitution, modification, reordering,
-truncation, version replay -- used by the security tests and E9.
+push them (dissemination).  The layer is organized around three seams:
+
+* **storage** -- :class:`DSPStore` fronts a pluggable
+  :class:`~repro.dsp.backends.StoreBackend`
+  (:class:`~repro.dsp.backends.MemoryBackend` in-process,
+  :class:`~repro.dsp.backends.SQLiteBackend` durable);
+* **service** -- :class:`DSPServer` answers the five request types
+  (header, chunk, chunk range, rules, wrapped key) with network-cost
+  accounting;
+* **wire** -- :mod:`repro.dsp.wire` serializes those requests and
+  responses (typed errors included), :class:`DSPSocketServer` serves
+  them over TCP and :class:`RemoteDSP` consumes them; terminals only
+  ever see the :class:`~repro.dsp.client.DSPClient` protocol.
+
+:mod:`repro.dsp.tamper` implements the adversarial behaviours --
+substitution, modification, reordering, truncation, version replay --
+used by the security tests and E9.
 """
 
+from repro.dsp.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StoreBackend,
+    StoredDocument,
+)
+from repro.dsp.client import DSPClient, LocalDSP
+from repro.dsp.remote import ConnectionStats, DSPSocketServer, RemoteDSP
 from repro.dsp.server import DSPServer, TrustedFilterService
-from repro.dsp.store import DSPStore, StoredDocument
+from repro.dsp.store import DSPStore
 
-__all__ = ["DSPServer", "DSPStore", "StoredDocument", "TrustedFilterService"]
+__all__ = [
+    "ConnectionStats",
+    "DSPClient",
+    "DSPServer",
+    "DSPSocketServer",
+    "DSPStore",
+    "LocalDSP",
+    "MemoryBackend",
+    "RemoteDSP",
+    "SQLiteBackend",
+    "StoreBackend",
+    "StoredDocument",
+    "TrustedFilterService",
+]

@@ -1,0 +1,370 @@
+"""The DSP as a real network service.
+
+:class:`DSPSocketServer` fronts one in-process
+:class:`~repro.dsp.server.DSPServer` with a threaded TCP listener
+speaking the :mod:`repro.dsp.wire` codec -- one thread per connection,
+dispatch serialized on the server so its accounting (``requests``,
+``bytes_served``, the SimClock) stays coherent, and per-connection
+accounting so an operator can see who pulled what.
+
+:class:`RemoteDSP` is the matching :class:`~repro.dsp.client.DSPClient`:
+it connects, sends one frame per request and decodes the response,
+re-raising the server's typed errors.  Many terminals in separate
+processes can each hold one and pull from the same durable DSP
+concurrently.
+
+Typical wiring (see ``Community.serve`` / ``Community.attach`` for the
+facade-level version)::
+
+    # process A -- owns the store
+    server = DSPSocketServer(dsp)          # 127.0.0.1, ephemeral port
+    print(server.address)
+
+    # process B..N -- readers
+    with RemoteDSP.connect(address) as dsp:
+        terminal = Terminal("reader", dsp, pki)
+        ...
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+
+from repro.crypto.container import DocumentHeader
+from repro.dsp.server import DSPServer
+from repro.dsp.wire import (
+    MAX_FRAME,
+    GetChunk,
+    GetChunkRange,
+    GetHeader,
+    GetRules,
+    GetWrappedKey,
+    Request,
+    WireError,
+    decode_request,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_response,
+    frame,
+)
+from repro.errors import TransportError
+from repro.smartcard.resources import SimClock
+
+__all__ = ["ConnectionStats", "DSPSocketServer", "RemoteDSP"]
+
+_U32 = struct.Struct(">I")
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """``count`` bytes from the socket, or ``None`` on a clean EOF.
+
+    A connection that dies mid-message raises
+    :class:`~repro.errors.TransportError`; only an EOF on a message
+    boundary reads as an orderly close.
+    """
+    parts: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TransportError("DSP connection closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def read_frame(sock: socket.socket) -> bytes | None:
+    """One length-prefixed frame body, or ``None`` on orderly EOF."""
+    prefix = _recv_exact(sock, 4)
+    if prefix is None:
+        return None
+    length: int = _U32.unpack(prefix)[0]
+    if length > MAX_FRAME:
+        raise WireError(f"peer announced an oversized frame ({length} B)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise TransportError("DSP connection closed mid-frame")
+    return body
+
+
+def write_frame(sock: socket.socket, body: bytes) -> None:
+    sock.sendall(frame(body))
+
+
+@dataclass(slots=True)
+class ConnectionStats:
+    """Per-connection accounting on the served side."""
+
+    peer: str
+    requests: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    open: bool = True
+
+
+class DSPSocketServer:
+    """Serves one DSP over TCP, one thread per connection.
+
+    Binding ``port=0`` picks an ephemeral port; :attr:`address` is the
+    bound ``(host, port)`` to hand to clients.  Dispatch into the
+    underlying :class:`DSPServer` is serialized on one lock so its
+    request/byte/clock accounting stays exactly as coherent as in the
+    single-process deployment.  A context manager: ``close`` stops the
+    listener and tears down every live connection.
+    """
+
+    def __init__(
+        self,
+        dsp: DSPServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 16,
+    ) -> None:
+        self.dsp = dsp
+        self._dispatch_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._listener = socket.create_server((host, port), backlog=backlog)
+        bound = self._listener.getsockname()
+        self.address: tuple[str, int] = (str(bound[0]), int(bound[1]))
+        self.connections: list[ConnectionStats] = []
+        self._conn_socks: list[socket.socket] = []
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"dsp-server-{self.address[1]}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    # -- service loop -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            stats = ConnectionStats(peer=f"{peer[0]}:{peer[1]}")
+            with self._state_lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self.connections.append(stats)
+                self._conn_socks.append(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn, stats),
+                name=f"dsp-conn-{stats.peer}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(
+        self, conn: socket.socket, stats: ConnectionStats
+    ) -> None:
+        try:
+            while True:
+                try:
+                    body = read_frame(conn)
+                except (TransportError, WireError, OSError):
+                    return
+                if body is None:
+                    return
+                stats.requests += 1
+                stats.bytes_in += 4 + len(body)
+                response = self._dispatch(body, stats)
+                stats.bytes_out += 4 + len(response)
+                try:
+                    write_frame(conn, response)
+                except OSError:
+                    return
+        finally:
+            stats.open = False
+            conn.close()
+
+    def _dispatch(self, body: bytes, stats: ConnectionStats) -> bytes:
+        try:
+            request = decode_request(body)
+        except WireError as exc:
+            stats.errors += 1
+            return encode_error(exc)
+        try:
+            with self._dispatch_lock:
+                value = self._execute(request)
+            return encode_response(request, value)
+        except Exception as exc:  # typed errors travel; nothing escapes
+            stats.errors += 1
+            return encode_error(exc)
+
+    def _execute(self, request: Request) -> object:
+        dsp = self.dsp
+        if isinstance(request, GetHeader):
+            return dsp.get_header(request.doc_id)
+        if isinstance(request, GetChunk):
+            return dsp.get_chunk(request.doc_id, request.index)
+        if isinstance(request, GetChunkRange):
+            return dsp.get_chunk_range(
+                request.doc_id, request.start, request.count
+            )
+        if isinstance(request, GetRules):
+            return dsp.get_rules(request.doc_id)
+        return dsp.get_wrapped_key(request.doc_id, request.recipient)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting and tear down live connections (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            socks = list(self._conn_socks)
+        try:
+            # close() alone does not wake a thread blocked in accept();
+            # shutdown() does.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "DSPSocketServer":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+class RemoteDSP:
+    """A :class:`~repro.dsp.client.DSPClient` over one TCP connection.
+
+    One frame out, one frame in, per request; a lock serializes
+    requests so one handle may be shared, though the intended shape is
+    one ``RemoteDSP`` per terminal process.  Wire-carried typed errors
+    re-raise exactly as the in-process server would have raised them.
+    The ``clock`` is this client's own
+    :class:`~repro.smartcard.resources.SimClock`: the *served* DSP
+    charges its network model on its side, while the terminal charges
+    card/link time locally.
+    """
+
+    def __init__(self, sock: socket.socket, clock: SimClock | None = None) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._broken: str | None = None
+        self.clock = clock if clock is not None else SimClock()
+        self.requests = 0
+        self.bytes_received = 0
+
+    @classmethod
+    def connect(
+        cls,
+        address: tuple[str, int],
+        timeout: float | None = 10.0,
+        clock: SimClock | None = None,
+    ) -> "RemoteDSP":
+        """Open a connection to a served DSP."""
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach DSP at {address[0]}:{address[1]}: {exc}"
+            ) from exc
+        sock.settimeout(timeout)
+        return cls(sock, clock=clock)
+
+    def _poison(self, reason: str) -> None:
+        """Mark the connection unusable and drop the socket.
+
+        After a timeout or mid-frame failure the stream may still hold
+        a stale response; reading it would silently answer the *next*
+        request with the previous payload, so the handle refuses all
+        further use instead.
+        """
+        self._broken = reason
+        self._sock.close()
+
+    def _call(self, request: Request) -> object:
+        with self._lock:
+            if self._broken is not None:
+                raise TransportError(
+                    f"DSP connection is unusable ({self._broken}); "
+                    "reconnect with RemoteDSP.connect"
+                )
+            try:
+                write_frame(self._sock, encode_request(request))
+                body = read_frame(self._sock)
+            except (OSError, TransportError, WireError) as exc:
+                self._poison(str(exc))
+                raise TransportError(
+                    f"DSP connection failed: {exc}"
+                ) from exc
+            self.requests += 1
+            if body is None:
+                self._poison("server closed the connection")
+                raise TransportError("DSP closed the connection")
+            self.bytes_received += len(body)
+        return decode_response(request, body)
+
+    # -- DSPClient --------------------------------------------------------
+
+    def get_header(self, doc_id: str) -> DocumentHeader:
+        value = self._call(GetHeader(doc_id))
+        assert isinstance(value, DocumentHeader)
+        return value
+
+    def get_chunk(self, doc_id: str, index: int) -> bytes:
+        value = self._call(GetChunk(doc_id, index))
+        assert isinstance(value, bytes)
+        return value
+
+    def get_chunk_range(
+        self, doc_id: str, start: int, count: int
+    ) -> list[bytes]:
+        value = self._call(GetChunkRange(doc_id, start, count))
+        assert isinstance(value, list)
+        return value
+
+    def get_rules(self, doc_id: str) -> tuple[int, list[bytes]]:
+        value = self._call(GetRules(doc_id))
+        assert isinstance(value, tuple)
+        return value
+
+    def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
+        value = self._call(GetWrappedKey(doc_id, recipient))
+        assert isinstance(value, bytes)
+        return value
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteDSP":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

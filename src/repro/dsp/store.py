@@ -1,59 +1,61 @@
-"""Persistent state of the untrusted store."""
+"""The DSP's disk front: a thin façade over a pluggable backend.
+
+Historically ``DSPStore`` *was* the disk (a dictionary); it is now a
+delegating front over a :class:`~repro.dsp.backends.StoreBackend`, so
+the same server code runs against the volatile in-process
+:class:`~repro.dsp.backends.MemoryBackend` (the default -- byte for
+byte the historical behavior) or the durable
+:class:`~repro.dsp.backends.SQLiteBackend`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.crypto.container import DocumentContainer
-from repro.errors import UnknownDocument
+from repro.dsp.backends import MemoryBackend, StoreBackend, StoredDocument
 
-
-@dataclass(slots=True)
-class StoredDocument:
-    """Everything the DSP holds for one document id.
-
-    ``rule_records`` are individually sealed rule blobs (the card
-    decrypts them one at a time); ``wrapped_keys`` maps recipients to
-    the document secret wrapped for them -- opaque to the DSP.
-    """
-
-    container: DocumentContainer
-    rule_records: list[bytes] = field(default_factory=list)
-    rules_version: int = 0
-    wrapped_keys: dict[str, bytes] = field(default_factory=dict)
+__all__ = ["DSPStore", "StoredDocument"]
 
 
 class DSPStore:
-    """A dictionary of encrypted documents; the DSP's disk."""
+    """The DSP's dictionary of encrypted documents, backend-pluggable."""
 
-    def __init__(self) -> None:
-        self._documents: dict[str, StoredDocument] = {}
+    def __init__(self, backend: StoreBackend | None = None) -> None:
+        self.backend: StoreBackend = (
+            backend if backend is not None else MemoryBackend()
+        )
 
-    def put_document(self, container: DocumentContainer) -> None:
-        doc_id = container.header.doc_id
-        existing = self._documents.get(doc_id)
-        if existing is not None:
-            existing.container = container
-        else:
-            self._documents[doc_id] = StoredDocument(container)
+    def put_document(
+        self,
+        container: DocumentContainer,
+        *,
+        keep_rules: bool = False,
+        keep_keys: bool = False,
+    ) -> None:
+        """Store (or overwrite) a sealed container.
+
+        Overwriting a document id clears the prior seal's rule records
+        and wrapped keys unless the caller explicitly keeps them:
+        ``keep_keys=True`` retains the grants (a republish under the
+        same document secret), ``keep_rules=True`` retains the sealed
+        policy (e.g. a tampering store substituting only ciphertext).
+        Nothing stale is ever kept silently.
+        """
+        self.backend.put_document(
+            container, keep_rules=keep_rules, keep_keys=keep_keys
+        )
 
     def get(self, doc_id: str) -> StoredDocument:
-        stored = self._documents.get(doc_id)
-        if stored is None:
-            raise UnknownDocument(
-                f"the store holds no document {doc_id!r}", doc_id=doc_id
-            )
-        return stored
+        """The stored record; raises
+        :class:`~repro.errors.UnknownDocument` if absent."""
+        return self.backend.get(doc_id)
 
     def put_rules(
         self, doc_id: str, records: list[bytes], version: int
     ) -> None:
-        stored = self.get(doc_id)
-        stored.rule_records = list(records)
-        stored.rules_version = version
+        self.backend.put_rules(doc_id, list(records), version)
 
     def put_wrapped_key(self, doc_id: str, recipient: str, blob: bytes) -> None:
-        self.get(doc_id).wrapped_keys[recipient] = blob
+        self.backend.put_wrapped_key(doc_id, recipient, blob)
 
     def remove_wrapped_key(self, doc_id: str, recipient: str) -> bool:
         """Drop a recipient's wrapped key (key-level revocation).
@@ -62,12 +64,14 @@ class DSPStore:
         that already unlocked the document keeps its provisioned copy;
         durable revocation also updates the access rules.
         """
-        return (
-            self.get(doc_id).wrapped_keys.pop(recipient, None) is not None
-        )
+        return self.backend.remove_wrapped_key(doc_id, recipient)
 
     def document_ids(self) -> list[str]:
-        return sorted(self._documents)
+        return self.backend.document_ids()
+
+    def close(self) -> None:
+        """Release the backend's durable resources (idempotent)."""
+        self.backend.close()
 
     def __contains__(self, doc_id: str) -> bool:
-        return doc_id in self._documents
+        return self.backend.contains(doc_id)

@@ -12,6 +12,19 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.crypto.container import DocumentContainer
+from repro.dsp.store import DSPStore
+
+
+def install(store: DSPStore, container: DocumentContainer) -> None:
+    """Substitute a (tampered) container under its stored document id.
+
+    A compromised store swaps ciphertext while leaving the sealed rule
+    records and wrapped keys exactly as they were -- so the overwrite
+    explicitly *keeps* both, the attack the honest
+    ``put_document`` default (clear on overwrite) would otherwise
+    erase along with the evidence.
+    """
+    store.put_document(container, keep_rules=True, keep_keys=True)
 
 
 def corrupt_chunk(container: DocumentContainer, index: int, bit: int = 0) -> DocumentContainer:

@@ -1,0 +1,341 @@
+"""The DSP wire protocol: a length-prefixed binary codec.
+
+Serializes the five DSP request types (header, chunk, chunk range,
+rules, wrapped key) and their responses -- including the typed errors
+(:class:`~repro.errors.UnknownDocument`,
+:class:`~repro.errors.KeyNotGranted`, out-of-range, bad request) -- so
+a :class:`~repro.dsp.remote.RemoteDSP` raises exactly what the
+in-process :class:`~repro.dsp.server.DSPServer` raises.
+
+Framing: every message travels as ``[u32 length][body]`` (big endian);
+the body starts with one opcode byte.  Requests use opcodes 1..5;
+responses echo the request opcode with the high bit set (``0x80 |
+op``); error responses use opcode ``0x7F`` regardless of the request.
+Strings are ``[u16 length][utf-8]``; blobs are ``[u32 length][raw]``.
+Document headers ride the same encoding the card's ``PUT_HEADER`` APDU
+uses (:func:`repro.smartcard.card.encode_header`), so the proxy can
+forward them without re-serialization.
+
+Malformed input raises :class:`WireError` (a ``ValueError``) -- a
+hostile or corrupted peer can never raise anything else out of the
+decoder.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from repro.crypto.container import DocumentHeader
+from repro.errors import KeyNotGranted, TransportError, UnknownDocument
+from repro.smartcard.card import decode_header, encode_header
+
+__all__ = [
+    "GetChunk",
+    "GetChunkRange",
+    "GetHeader",
+    "GetRules",
+    "GetWrappedKey",
+    "MAX_FRAME",
+    "Request",
+    "WireError",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_request",
+    "encode_response",
+    "frame",
+]
+
+#: Upper bound on one frame body; anything larger is treated as a
+#: protocol violation rather than a buffer to allocate.
+MAX_FRAME = 1 << 26  # 64 MiB
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+OP_HEADER = 0x01
+OP_CHUNK = 0x02
+OP_CHUNK_RANGE = 0x03
+OP_RULES = 0x04
+OP_WRAPPED_KEY = 0x05
+OP_ERROR = 0x7F
+_OK = 0x80
+
+ERR_UNKNOWN_DOCUMENT = 0x01
+ERR_KEY_NOT_GRANTED = 0x02
+ERR_OUT_OF_RANGE = 0x03
+ERR_BAD_REQUEST = 0x04
+ERR_SERVER = 0x05
+
+
+class WireError(ValueError):
+    """A frame violated the protocol (truncated, oversized, unknown op)."""
+
+
+# -- request types -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GetHeader:
+    doc_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class GetChunk:
+    doc_id: str
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class GetChunkRange:
+    doc_id: str
+    start: int
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class GetRules:
+    doc_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class GetWrappedKey:
+    doc_id: str
+    recipient: str
+
+
+Request = Union[GetHeader, GetChunk, GetChunkRange, GetRules, GetWrappedKey]
+
+_REQUEST_OPS: dict[type[object], int] = {
+    GetHeader: OP_HEADER,
+    GetChunk: OP_CHUNK,
+    GetChunkRange: OP_CHUNK_RANGE,
+    GetRules: OP_RULES,
+    GetWrappedKey: OP_WRAPPED_KEY,
+}
+
+
+# -- primitive fields --------------------------------------------------------
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireError("string field exceeds 65535 bytes")
+    return _U16.pack(len(raw)) + raw
+
+
+def _pack_bytes(value: bytes) -> bytes:
+    return _U32.pack(len(value)) + value
+
+
+class _Reader:
+    """A bounds-checked cursor over one frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if count < 0 or end > len(self.data):
+            raise WireError("truncated frame")
+        value = self.data[self.pos:end]
+        self.pos = end
+        return value
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        value: int = _U16.unpack(self.take(2))[0]
+        return value
+
+    def u32(self) -> int:
+        value: int = _U32.unpack(self.take(4))[0]
+        return value
+
+    def u64(self) -> int:
+        value: int = _U64.unpack(self.take(8))[0]
+        return value
+
+    def string(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("string field is not valid UTF-8") from exc
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        if length > MAX_FRAME:
+            raise WireError("blob length exceeds frame bound")
+        return self.take(length)
+
+    def finish(self) -> None:
+        if self.pos != len(self.data):
+            raise WireError("trailing bytes after message")
+
+
+def frame(body: bytes) -> bytes:
+    """Wrap one message body in its ``[u32 length]`` prefix."""
+    if len(body) > MAX_FRAME:
+        raise WireError("frame exceeds protocol bound")
+    return _U32.pack(len(body)) + body
+
+
+# -- requests ----------------------------------------------------------------
+
+
+def encode_request(request: Request) -> bytes:
+    """One request as a frame body (no length prefix)."""
+    op = _REQUEST_OPS[type(request)]
+    body = bytes([op]) + _pack_str(request.doc_id)
+    if isinstance(request, GetChunk):
+        body += _U32.pack(request.index)
+    elif isinstance(request, GetChunkRange):
+        body += _U32.pack(request.start) + _U32.pack(request.count)
+    elif isinstance(request, GetWrappedKey):
+        body += _pack_str(request.recipient)
+    return body
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse a frame body into a request; raises :class:`WireError`."""
+    reader = _Reader(body)
+    op = reader.u8()
+    doc_id = reader.string()
+    request: Request
+    if op == OP_HEADER:
+        request = GetHeader(doc_id)
+    elif op == OP_CHUNK:
+        request = GetChunk(doc_id, reader.u32())
+    elif op == OP_CHUNK_RANGE:
+        request = GetChunkRange(doc_id, reader.u32(), reader.u32())
+    elif op == OP_RULES:
+        request = GetRules(doc_id)
+    elif op == OP_WRAPPED_KEY:
+        request = GetWrappedKey(doc_id, reader.string())
+    else:
+        raise WireError(f"unknown request opcode {op:#04x}")
+    reader.finish()
+    return request
+
+
+# -- responses ---------------------------------------------------------------
+
+
+def encode_response(request: Request, value: object) -> bytes:
+    """The success response to ``request`` as a frame body.
+
+    ``value`` is whatever the matching ``DSPServer`` method returned:
+    a :class:`DocumentHeader`, a chunk blob, a list of chunk blobs, a
+    ``(version, records)`` pair, or a wrapped-key blob.
+    """
+    op = _OK | _REQUEST_OPS[type(request)]
+    head = bytes([op])
+    if isinstance(request, GetHeader):
+        assert isinstance(value, DocumentHeader)
+        return head + _pack_bytes(encode_header(value))
+    if isinstance(request, (GetChunk, GetWrappedKey)):
+        assert isinstance(value, bytes)
+        return head + _pack_bytes(value)
+    if isinstance(request, GetChunkRange):
+        assert isinstance(value, list)
+        body = head + _U16.pack(len(value))
+        for blob in value:
+            body += _pack_bytes(blob)
+        return body
+    assert isinstance(value, tuple)
+    version, records = value
+    body = head + _U64.pack(version) + _U16.pack(len(records))
+    for record in records:
+        body += _pack_bytes(record)
+    return body
+
+
+def encode_error(exc: BaseException) -> bytes:
+    """Any dispatch failure as an error frame body.
+
+    The typed store errors keep their identity across the wire; bounds
+    and argument errors map to their builtin types; anything else
+    degrades to a generic server error (surfaced client-side as
+    :class:`~repro.errors.TransportError`).
+    """
+    doc_id = getattr(exc, "doc_id", None) or ""
+    subject = getattr(exc, "subject", None) or ""
+    if isinstance(exc, UnknownDocument):
+        code = ERR_UNKNOWN_DOCUMENT
+    elif isinstance(exc, KeyNotGranted):
+        code = ERR_KEY_NOT_GRANTED
+    elif isinstance(exc, IndexError):
+        code = ERR_OUT_OF_RANGE
+    elif isinstance(exc, ValueError):
+        code = ERR_BAD_REQUEST
+    else:
+        code = ERR_SERVER
+    return (
+        bytes([OP_ERROR, code])
+        + _pack_str(str(exc))
+        + _pack_str(doc_id)
+        + _pack_str(subject)
+    )
+
+
+def _raise_error(reader: _Reader) -> None:
+    code = reader.u8()
+    message = reader.string()
+    doc_id = reader.string() or None
+    subject = reader.string() or None
+    reader.finish()
+    if code == ERR_UNKNOWN_DOCUMENT:
+        raise UnknownDocument(message, doc_id=doc_id)
+    if code == ERR_KEY_NOT_GRANTED:
+        raise KeyNotGranted(message, doc_id=doc_id, subject=subject)
+    if code == ERR_OUT_OF_RANGE:
+        raise IndexError(message)
+    if code == ERR_BAD_REQUEST:
+        raise ValueError(message)
+    if code == ERR_SERVER:
+        raise TransportError(message, doc_id=doc_id, subject=subject)
+    raise WireError(f"unknown error code {code:#04x}")
+
+
+def decode_response(request: Request, body: bytes) -> object:
+    """Parse the response to ``request``; re-raises wire-carried errors.
+
+    Returns the same Python value the matching in-process
+    ``DSPServer`` method would have returned, so a remote client is a
+    drop-in for the local one.
+    """
+    reader = _Reader(body)
+    op = reader.u8()
+    if op == OP_ERROR:
+        _raise_error(reader)
+    if op != (_OK | _REQUEST_OPS[type(request)]):
+        raise WireError(
+            f"response opcode {op:#04x} does not answer "
+            f"{type(request).__name__}"
+        )
+    value: object
+    if isinstance(request, GetHeader):
+        try:
+            value = decode_header(reader.blob())
+        except WireError:
+            raise
+        except (ValueError, IndexError, struct.error) as exc:
+            raise WireError(f"malformed header payload: {exc}") from exc
+    elif isinstance(request, (GetChunk, GetWrappedKey)):
+        value = reader.blob()
+    elif isinstance(request, GetChunkRange):
+        value = [reader.blob() for __ in range(reader.u16())]
+    else:
+        version = reader.u64()
+        value = (version, [reader.blob() for __ in range(reader.u16())])
+    reader.finish()
+    return value

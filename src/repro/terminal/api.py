@@ -152,7 +152,10 @@ class Publisher:
         container = seal_document(
             plaintext, doc_id, version, keys, chunk_size=chunk_size
         )
-        self.store.put_document(container)
+        # A republish reuses the document secret, so existing grants
+        # (wrapped keys) stay valid and are explicitly kept; the rule
+        # records are replaced wholesale just below.
+        self.store.put_document(container, keep_keys=True)
         records, rule_bytes = _seal_rules(rules, doc_id, version, keys)
         self.store.put_rules(doc_id, records, version)
         wrapped = self.pki.publish_secret(self.owner, recipients, secret)

@@ -42,7 +42,7 @@ from repro.smartcard.apdu import (
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.card import SmartCard, encode_groups, encode_header
 from repro.smartcard.resources import LinkModel, SessionMetrics, SimClock
-from repro.dsp.server import DSPServer
+from repro.dsp.client import DSPClient
 from repro.terminal.transfer import TransferPolicy
 
 _FLAG_HAS_QUERY = 0x01
@@ -107,7 +107,7 @@ class CardProxy:
     def __init__(
         self,
         card: SmartCard,
-        dsp: DSPServer,
+        dsp: DSPClient,
         link: LinkModel | None = None,
         clock: SimClock | None = None,
         transfer: TransferPolicy | None = None,

@@ -14,7 +14,7 @@ import warnings
 from repro.core.compiled import PolicyRegistry
 from repro.core.delivery import ViewMode
 from repro.crypto.pki import SimulatedPKI
-from repro.dsp.server import DSPServer
+from repro.dsp.client import DSPClient
 from repro.errors import DocumentLocked
 from repro.smartcard.applet import PendingStrategy
 from repro.smartcard.card import SmartCard
@@ -38,7 +38,7 @@ class Terminal:
     def __init__(
         self,
         user: str,
-        dsp: DSPServer,
+        dsp: DSPClient,
         pki: SimulatedPKI,
         card: SmartCard | None = None,
         link: LinkModel | None = None,

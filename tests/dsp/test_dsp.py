@@ -24,13 +24,28 @@ def test_store_put_get():
     assert store.document_ids() == ["doc"]
 
 
-def test_store_update_preserves_rules():
+def test_store_overwrite_clears_stale_rules_and_keys():
+    """Republishing must not silently leave the prior seal's state."""
     store = DSPStore()
     store.put_document(_container(version=1))
     store.put_rules("doc", [b"r0"], 1)
+    store.put_wrapped_key("doc", "u", b"wrapped")
     store.put_document(_container(version=2))
-    assert store.get("doc").rule_records == [b"r0"]
     assert store.get("doc").container.header.version == 2
+    assert store.get("doc").rule_records == []
+    assert store.get("doc").rules_version == 0
+    assert store.get("doc").wrapped_keys == {}
+
+
+def test_store_overwrite_keeps_state_only_on_request():
+    store = DSPStore()
+    store.put_document(_container(version=1))
+    store.put_rules("doc", [b"r0"], 1)
+    store.put_wrapped_key("doc", "u", b"wrapped")
+    store.put_document(_container(version=2), keep_rules=True, keep_keys=True)
+    assert store.get("doc").rule_records == [b"r0"]
+    assert store.get("doc").rules_version == 1
+    assert store.get("doc").wrapped_keys == {"u": b"wrapped"}
 
 
 def test_store_missing_document():

@@ -1,0 +1,244 @@
+"""Wire-codec tests: golden vectors, error frames, round trips, fuzz.
+
+The golden vectors pin the on-the-wire byte layout -- a codec change
+that breaks them breaks every deployed peer, so they may only change
+together with a :data:`repro.dsp.backends.SCHEMA_VERSION`-style
+protocol bump.  The fuzz suite guarantees a hostile peer can only ever
+raise :class:`~repro.dsp.wire.WireError` (or a typed error *frame*),
+never an arbitrary exception, out of the decoder.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.container import DocumentHeader
+from repro.dsp import wire
+from repro.errors import KeyNotGranted, TransportError, UnknownDocument
+
+HEADER = DocumentHeader(
+    doc_id="doc-1",
+    version=3,
+    chunk_size=64,
+    chunk_count=9,
+    total_length=541,
+    tag_length=8,
+    tag=bytes(range(1, 9)),
+)
+
+REQUESTS = [
+    wire.GetHeader("doc-1"),
+    wire.GetChunk("doc-1", 7),
+    wire.GetChunkRange("doc-1", 2, 5),
+    wire.GetRules("doc-1"),
+    wire.GetWrappedKey("doc-1", "alice"),
+]
+
+#: Framed request bytes, pinned.  Layout: [u32 len][op][u16 len]doc_id…
+GOLDEN_REQUESTS = {
+    "GetHeader": "00000008010005646f632d31",
+    "GetChunk": "0000000c020005646f632d3100000007",
+    "GetChunkRange": "00000010030005646f632d310000000200000005",
+    "GetRules": "00000008040005646f632d31",
+    "GetWrappedKey": "0000000f050005646f632d310005616c696365",
+}
+
+#: Framed response bytes for each request above, pinned.
+GOLDEN_RESPONSES = [
+    (
+        REQUESTS[0],
+        HEADER,
+        "0000002c810000002705646f632d31000000000000000300000040000000090"
+        "00000000000021d080102030405060708",
+    ),
+    (REQUESTS[1], b"\xde\xad\xbe\xef", "000000098200000004deadbeef"),
+    (
+        REQUESTS[2],
+        [b"\x01", b"\x02\x03"],
+        "0000000e8300020000000101000000020203",
+    ),
+    (
+        REQUESTS[3],
+        (4, [b"ra", b"rb"]),
+        "000000178400000000000000040002000000027261000000027262",
+    ),
+    (REQUESTS[4], b"\x99", "00000006850000000199"),
+]
+
+GOLDEN_ERRORS = [
+    (
+        UnknownDocument("no doc-9", doc_id="doc-9"),
+        "000000157f0100086e6f20646f632d390005646f632d390000",
+    ),
+    (
+        KeyNotGranted("no key", doc_id="doc-1", subject="eve"),
+        "000000167f0200066e6f206b65790005646f632d310003657665",
+    ),
+    (
+        IndexError("chunk range starts out of bounds: 99"),
+        "0000002c7f0300246368756e6b2072616e676520737461727473206f7574206"
+        "f6620626f756e64733a20393900000000",
+    ),
+]
+
+
+# -- golden vectors -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("request_", REQUESTS, ids=lambda r: type(r).__name__)
+def test_request_golden_vector(request_):
+    framed = wire.frame(wire.encode_request(request_))
+    assert framed.hex() == GOLDEN_REQUESTS[type(request_).__name__]
+    assert wire.decode_request(framed[4:]) == request_
+
+
+@pytest.mark.parametrize(
+    "request_, value, golden",
+    GOLDEN_RESPONSES,
+    ids=lambda x: getattr(type(x), "__name__", "?"),
+)
+def test_response_golden_vector(request_, value, golden):
+    framed = wire.frame(wire.encode_response(request_, value))
+    assert framed.hex() == golden
+    assert wire.decode_response(request_, framed[4:]) == value
+
+
+@pytest.mark.parametrize("exc, golden", GOLDEN_ERRORS)
+def test_error_golden_vector(exc, golden):
+    framed = wire.frame(wire.encode_error(exc))
+    assert framed.hex() == golden
+
+
+# -- error frames -------------------------------------------------------------
+
+
+def test_error_frames_reraise_typed():
+    request = wire.GetHeader("doc-9")
+    body = wire.encode_error(UnknownDocument("gone", doc_id="doc-9"))
+    with pytest.raises(UnknownDocument) as info:
+        wire.decode_response(request, body)
+    assert info.value.doc_id == "doc-9"
+    assert isinstance(info.value, KeyError)  # taxonomy dual inheritance
+
+    body = wire.encode_error(
+        KeyNotGranted("denied", doc_id="d", subject="eve")
+    )
+    with pytest.raises(KeyNotGranted) as info:
+        wire.decode_response(request, body)
+    assert info.value.subject == "eve"
+
+    with pytest.raises(IndexError):
+        wire.decode_response(request, wire.encode_error(IndexError("oob")))
+    with pytest.raises(ValueError):
+        wire.decode_response(request, wire.encode_error(ValueError("bad")))
+    with pytest.raises(TransportError):
+        wire.decode_response(
+            request, wire.encode_error(RuntimeError("boom"))
+        )
+
+
+def test_unexpected_server_error_degrades_to_transport():
+    body = wire.encode_error(RuntimeError("database on fire"))
+    with pytest.raises(TransportError, match="database on fire"):
+        wire.decode_response(wire.GetRules("d"), body)
+
+
+def test_mismatched_response_opcode_rejected():
+    body = wire.encode_response(wire.GetChunk("d", 0), b"blob")
+    with pytest.raises(wire.WireError):
+        wire.decode_response(wire.GetRules("d"), body)
+
+
+# -- malformed frames ---------------------------------------------------------
+
+
+def test_truncated_and_trailing_frames_rejected():
+    good = wire.encode_request(wire.GetChunkRange("doc", 1, 2))
+    with pytest.raises(wire.WireError):
+        wire.decode_request(good[:-1])  # truncated
+    with pytest.raises(wire.WireError):
+        wire.decode_request(good + b"\x00")  # trailing bytes
+    with pytest.raises(wire.WireError):
+        wire.decode_request(b"")  # empty body
+    with pytest.raises(wire.WireError):
+        wire.decode_request(bytes([0x6E]) + good[1:])  # unknown opcode
+
+
+def test_oversized_frame_rejected():
+    with pytest.raises(wire.WireError):
+        wire.frame(b"\x00" * (wire.MAX_FRAME + 1))
+
+
+def test_invalid_utf8_string_rejected():
+    body = bytes([wire.OP_HEADER]) + b"\x00\x02\xff\xfe"
+    with pytest.raises(wire.WireError):
+        wire.decode_request(body)
+
+
+# -- property-based round trips ----------------------------------------------
+
+doc_ids = st.text(min_size=1, max_size=40)
+blobs = st.binary(max_size=512)
+
+
+@st.composite
+def requests(draw):
+    kind = draw(st.integers(0, 4))
+    doc_id = draw(doc_ids)
+    if kind == 0:
+        return wire.GetHeader(doc_id)
+    if kind == 1:
+        return wire.GetChunk(doc_id, draw(st.integers(0, 2**32 - 1)))
+    if kind == 2:
+        return wire.GetChunkRange(
+            doc_id,
+            draw(st.integers(0, 2**32 - 1)),
+            draw(st.integers(0, 2**32 - 1)),
+        )
+    if kind == 3:
+        return wire.GetRules(doc_id)
+    return wire.GetWrappedKey(doc_id, draw(doc_ids))
+
+
+@given(requests())
+@settings(max_examples=200, deadline=None)
+def test_request_roundtrip(request_):
+    assert wire.decode_request(wire.encode_request(request_)) == request_
+
+
+@given(st.lists(blobs, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_chunk_range_response_roundtrip(chunks):
+    request = wire.GetChunkRange("d", 0, max(1, len(chunks)))
+    body = wire.encode_response(request, chunks)
+    assert wire.decode_response(request, body) == chunks
+
+
+@given(st.integers(0, 2**64 - 1), st.lists(blobs, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_rules_response_roundtrip(version, records):
+    request = wire.GetRules("d")
+    body = wire.encode_response(request, (version, records))
+    assert wire.decode_response(request, body) == (version, records)
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=300, deadline=None)
+def test_decoder_total_on_garbage(noise):
+    """Arbitrary bytes either decode or raise WireError -- nothing else."""
+    try:
+        wire.decode_request(noise)
+    except wire.WireError:
+        pass
+    for request in REQUESTS:
+        try:
+            wire.decode_response(request, noise)
+        except (
+            wire.WireError,
+            UnknownDocument,
+            KeyNotGranted,
+            TransportError,
+            IndexError,
+            ValueError,
+        ):
+            pass

@@ -48,14 +48,14 @@ def test_clean_session_succeeds():
 def test_modified_chunk_detected():
     store, dsp, pki, __ = _stack()
     container = store.get("d").container
-    store.put_document(tamper.corrupt_chunk(container, index=3))
+    tamper.install(store, tamper.corrupt_chunk(container, index=3))
     _expect_security_failure(dsp, pki)
 
 
 def test_reordered_chunks_detected():
     store, dsp, pki, __ = _stack()
     container = store.get("d").container
-    store.put_document(tamper.swap_chunks(container, 1, 2))
+    tamper.install(store, tamper.swap_chunks(container, 1, 2))
     _expect_security_failure(dsp, pki)
 
 
@@ -64,21 +64,21 @@ def test_cross_document_substitution_detected():
     publisher.publish("other", parse_string(DOC), RULES, ["u"], chunk_size=64)
     container = store.get("d").container
     other = store.get("other").container
-    store.put_document(tamper.substitute_chunk(container, 2, other, 2))
+    tamper.install(store, tamper.substitute_chunk(container, 2, other, 2))
     _expect_security_failure(dsp, pki)
 
 
 def test_truncation_with_forged_header_detected():
     store, dsp, pki, __ = _stack()
     container = store.get("d").container
-    store.put_document(tamper.truncate(container, keep=2))
+    tamper.install(store, tamper.truncate(container, keep=2))
     _expect_security_failure(dsp, pki)
 
 
 def test_truncation_with_original_header_detected():
     store, dsp, pki, __ = _stack()
     container = store.get("d").container
-    store.put_document(tamper.truncate_keeping_header(container, keep=2))
+    tamper.install(store, tamper.truncate_keeping_header(container, keep=2))
     terminal = Terminal("u", dsp, pki)
     with pytest.raises((ProxyError, IndexError)):
         terminal.query("d", owner="owner")
@@ -91,7 +91,7 @@ def test_version_replay_detected():
     terminal = Terminal("u", dsp, pki)
     result, __ = terminal.query("d", owner="owner")  # register -> v2
     assert "new" in result.xml
-    store.put_document(tamper.replay(old_container))
+    tamper.install(store, tamper.replay(old_container))
     # Detection lives in *this card's* monotonic version register: the
     # stale container is cryptographically valid, so a brand-new card
     # would accept it -- the one that saw v2 must not.
