@@ -95,6 +95,9 @@ def main() -> None:
             import io
             import pstats
 
+            from repro.core.product import dispatch_totals
+
+            before = dispatch_totals()
             profiler = cProfile.Profile()
             profiler.enable()
             title, headers, rows = module.run_experiment()
@@ -105,6 +108,21 @@ def main() -> None:
             ).print_stats(25)
             print(f"\n[{path.name}] top 25 by cumulative time:")
             print(stream.getvalue())
+            after = dispatch_totals()
+            deltas = {key: after[key] - before[key] for key in after}
+            pumped = deltas["events_pumped"]
+            touched = deltas["tokens_touched"]
+            print(
+                f"[{path.name}] product dispatch: "
+                f"{pumped} events pumped, "
+                f"{touched} tokens touched, "
+                f"{deltas['product_states_interned']} states interned"
+                + (
+                    f" ({touched / pumped:.3f} touched/event)"
+                    if pumped
+                    else " (product machine not engaged)"
+                )
+            )
         else:
             title, headers, rows = module.run_experiment()
         elapsed = time.time() - start

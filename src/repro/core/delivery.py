@@ -189,6 +189,12 @@ class DeliveryEngine:
         self._root_sink = _Sink(target=self._root_items)
         self._records: list[_Record] = []
         self.max_pending_bytes = 0
+        #: Set the first time a pending hole is created; until then the
+        #: root buffer provably holds plain events only (shell holes
+        #: are only ever triggered by a pending hole flowing through),
+        #: so :meth:`drain` can skip the hole scan and the pending-RAM
+        #: sample (the "pending" pool is exactly the holes' charges).
+        self._hole_born = False
 
     # -- decision combination ---------------------------------------------
 
@@ -253,6 +259,7 @@ class DeliveryEngine:
             record = _Record(kind, sink, event)
         else:
             hole = _Hole(event, self._memory)
+            self._hole_born = True
             parent_sink.append(hole)
             record = _Record(kind, _Sink(target=hole), event)
             record.hole = hole
@@ -363,6 +370,15 @@ class DeliveryEngine:
 
     def drain(self) -> list[Event]:
         """Emit every event no longer order-blocked by a pending hole."""
+        root_items = self._root_items
+        if not self._hole_born:
+            # Hot path: no hole was ever created, so nothing is
+            # order-blocked and nothing was charged to "pending".
+            if not root_items:
+                return []
+            emitted = list(root_items)
+            root_items.clear()
+            return emitted
         if self._memory is not None:
             self.max_pending_bytes = max(
                 self.max_pending_bytes, self._memory.usage("pending")

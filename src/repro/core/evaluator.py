@@ -20,8 +20,9 @@ from repro.core.compiled import CompiledPolicy, compile_policy
 from repro.core.conditions import Condition
 from repro.core.decisions import DECISION_BYTES, DecisionNode
 from repro.core.nfa import CompiledPath, compile_path
+from repro.core.product import ProductEngine
 from repro.core.rules import RuleSet, Sign, Subject
-from repro.core.runtime import EngineStats, TokenEngine
+from repro.core.runtime import EngineStats, MatchSink, TokenEngine
 from repro.xpathlib.ast import Path
 
 
@@ -43,6 +44,17 @@ class StreamingEvaluator:
 
     For access control, construct with :meth:`for_policy`; for query
     selection, with :meth:`for_query`.
+
+    The engine behind the facade is chosen per path set: a purely
+    navigational set (no predicates, no value tests -- every E1
+    workload) runs on the table-driven
+    :class:`~repro.core.product.ProductEngine`; anything with
+    conditions falls back to the legacy
+    :class:`~repro.core.runtime.TokenEngine`.  Both produce identical
+    decisions, stats and modeled RAM charges; the choice only moves
+    wall-clock time.  Registration is buffered until the set is known
+    (the named constructors realize the engine immediately after
+    seeding, so the secure-RAM charge order matches the seed's).
     """
 
     def __init__(
@@ -51,12 +63,30 @@ class StreamingEvaluator:
         memory=None,
         stats: EngineStats | None = None,
     ) -> None:
-        self._engine = TokenEngine(memory=memory, stats=stats)
+        self._stats = stats or EngineStats()
+        self._engine: ProductEngine | TokenEngine | None = None
+        self._pending: list[tuple[CompiledPath, MatchSink]] = []
         self._memory = memory
         root = DecisionNode.default_root(default)
         self._decisions: list[DecisionNode] = [root]
         self._collected: list[tuple[Sign, frozenset[Condition]]] = []
         self._sealed = False
+
+    def _realize(self) -> "ProductEngine | TokenEngine":
+        """Pick and build the engine for the registered path set."""
+        engine = self._engine
+        if engine is None:
+            cls = (
+                ProductEngine
+                if all(path.pure for path, __ in self._pending)
+                else TokenEngine
+            )
+            engine = cls(memory=self._memory, stats=self._stats)
+            for path, sink in self._pending:
+                engine.add_automaton(path, sink)
+            self._pending.clear()
+            self._engine = engine
+        return engine
 
     # -- construction -----------------------------------------------------
 
@@ -75,10 +105,9 @@ class StreamingEvaluator:
         number of concurrent evaluators.
         """
         evaluator = cls(policy.default, memory=memory, stats=stats)
-        evaluator._engine.add_policy(
-            policy,
-            [_RuleSink(evaluator, sign) for sign in policy.signs],
-        )
+        for path, sign in zip(policy.automata, policy.signs):
+            evaluator.add_compiled_path(path, sign)
+        evaluator._realize()
         return evaluator
 
     @classmethod
@@ -119,6 +148,7 @@ class StreamingEvaluator:
             evaluator.add_compiled_path(query, Sign.PERMIT)
         else:
             evaluator.add_rule_path(query, Sign.PERMIT)
+        evaluator._realize()
         return evaluator
 
     def add_rule_path(self, path: Path, sign: Sign) -> None:
@@ -129,7 +159,20 @@ class StreamingEvaluator:
         """Register one prebuilt signed automaton (before parsing starts)."""
         if self._sealed:
             raise RuntimeError("cannot add rules after parsing started")
-        self._engine.add_automaton(path, _RuleSink(self, sign))
+        sink = _RuleSink(self, sign)
+        if self._engine is None:
+            self._pending.append((path, sink))
+        else:
+            # Engine already chosen (named constructor, or a pre-parse
+            # stats probe); a late impure path demotes it to the token
+            # engine, re-seeding the paths it held.
+            if isinstance(self._engine, ProductEngine) and not path.pure:
+                self._pending = self._engine.registered() + [(path, sink)]
+                self._engine.retire()
+                self._engine = None
+                self._realize()
+            else:
+                self._engine.add_automaton(path, sink)
 
     # -- events -------------------------------------------------------------
 
@@ -140,7 +183,10 @@ class StreamingEvaluator:
         """Advance automata on an open; return the new node's decision."""
         self._sealed = True
         self._collected.clear()
-        self._engine.open(tag)
+        engine = self._engine
+        if engine is None:
+            engine = self._realize()
+        engine.open(tag)
         node = DecisionNode(parent=self._decisions[-1])
         if self._memory is not None:
             self._memory.allocate("signs", DECISION_BYTES)
@@ -150,10 +196,10 @@ class StreamingEvaluator:
         return node
 
     def value(self, text: str) -> None:
-        self._engine.value(text)
+        (self._engine or self._realize()).value(text)
 
     def close(self) -> None:
-        self._engine.close()
+        (self._engine or self._realize()).close()
         self._decisions.pop()
         if self._memory is not None:
             self._memory.release("signs", DECISION_BYTES)
@@ -163,19 +209,21 @@ class StreamingEvaluator:
     def can_complete_inside(self, tags_inside: frozenset[str]) -> bool:
         """Whether any automaton could reach a final state in a subtree
         containing exactly the given element tags."""
-        return self._engine.can_complete_inside(tags_inside)
+        return (self._engine or self._realize()).can_complete_inside(tags_inside)
 
     def has_watchers_on_top(self) -> bool:
         """Whether the current node's text feeds a value predicate."""
-        return self._engine.has_watchers_on_top()
+        return (self._engine or self._realize()).has_watchers_on_top()
 
     def current_decision(self) -> DecisionNode:
         """Decision of the innermost open element (or the default)."""
         return self._decisions[-1]
 
     def active_token_count(self) -> int:
+        if self._engine is None:
+            return len(self._pending)
         return self._engine.active_token_count()
 
     @property
     def stats(self) -> EngineStats:
-        return self._engine.stats
+        return self._stats

@@ -79,6 +79,23 @@ class CompiledPath:
     steps: tuple[CompiledStep, ...]
     comparison: Comparison | None
     suffix_labels: tuple[frozenset[str], ...]
+    #: Whether the path is purely navigational -- no predicates, no
+    #: value tests anywhere.  Pure paths never instantiate conditions
+    #: or watchers, which makes them eligible for the table-driven
+    #: product machine (:mod:`repro.core.product`); anything else runs
+    #: on the legacy token engine.  Derived at compile time.
+    pure: bool = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "pure",
+            self.comparison is None
+            and all(
+                not step.predicates and not step.dot_comparisons
+                for step in self.steps
+            ),
+        )
 
     @property
     def final_index(self) -> int:

@@ -120,9 +120,30 @@ class _Frame:
 
 
 class EngineStats:
-    """Counters the resource model turns into card CPU cycles."""
+    """Counters the resource model turns into card CPU cycles.
 
-    __slots__ = ("events", "token_checks", "token_advances", "conditions_created", "watcher_bytes")
+    ``events`` through ``watcher_bytes`` feed the *modeled* clock and
+    are byte-identical whichever engine runs.  The last three observe
+    the *wall-clock* dispatch cost of the table-driven product machine
+    (:mod:`repro.core.product`): ``events_pumped`` counts events that
+    went through it (zero means the legacy per-token fallback ran),
+    ``tokens_touched`` counts the Python-level position work actually
+    performed (transition/count builds only -- memoized hits touch
+    nothing), and ``product_states_interned`` counts distinct interned
+    state sets.  A rising ``tokens_touched / events_pumped`` ratio is a
+    dispatch-cost regression.
+    """
+
+    __slots__ = (
+        "events",
+        "token_checks",
+        "token_advances",
+        "conditions_created",
+        "watcher_bytes",
+        "events_pumped",
+        "tokens_touched",
+        "product_states_interned",
+    )
 
     def __init__(self) -> None:
         self.events = 0
@@ -130,6 +151,9 @@ class EngineStats:
         self.token_advances = 0
         self.conditions_created = 0
         self.watcher_bytes = 0
+        self.events_pumped = 0
+        self.tokens_touched = 0
+        self.product_states_interned = 0
 
 
 class TokenEngine:

@@ -81,17 +81,24 @@ class SimulatedPKI:
     def __init__(self) -> None:
         self._directory: dict[str, int] = {}
         self._pairs: dict[str, KeyPair] = {}
-        # (principal, peer_public) -> KEK.  DH is deterministic, so the
-        # cache is transparent; it spares the 2048-bit modular
-        # exponentiation on every wrap/unwrap between the same pair
-        # (one publish + one unlock per session paid ~27 ms each).
-        self._kek_cache: dict[tuple[str, int], bytes] = {}
+        # Unordered public-key pair -> KEK.  DH is deterministic *and
+        # symmetric* (g^(ab) seen from either side), so the cache is
+        # transparent and one entry serves both directions: the owner's
+        # wrap during publish already caches the KEK the recipient's
+        # unwrap needs, sparing the 2048-bit modular exponentiation
+        # (~7 ms) on every unlock between an already-acquainted pair.
+        self._kek_cache: dict[tuple[int, int], bytes] = {}
 
     def _kek(self, principal: str, peer_public: int) -> bytes:
-        key = (principal, peer_public)
+        pair = self._pair_of(principal)
+        key = (
+            (pair.public, peer_public)
+            if pair.public <= peer_public
+            else (peer_public, pair.public)
+        )
         kek = self._kek_cache.get(key)
         if kek is None:
-            kek = shared_secret(self._pair_of(principal), peer_public)
+            kek = shared_secret(pair, peer_public)
             self._kek_cache[key] = kek
         return kek
 
@@ -116,15 +123,10 @@ class SimulatedPKI:
         pair = KeyPair.generate(seed)
         old_public = self._directory.get(principal)
         if old_public is not None:
-            # Drop the principal's own KEKs (derived from the retired
-            # private key) and every peer's KEK against the retired
-            # public key (unreachable after the directory update, but
-            # they would otherwise accumulate across rotations).
-            for key in [
-                k
-                for k in self._kek_cache
-                if k[0] == principal or k[1] == old_public
-            ]:
+            # Drop every KEK involving the retired public key: those
+            # entries pair the old private key with some peer and would
+            # silently unwrap to garbage after the rotation.
+            for key in [k for k in self._kek_cache if old_public in k]:
                 del self._kek_cache[key]
         self._directory[principal] = pair.public
         self._pairs[principal] = pair

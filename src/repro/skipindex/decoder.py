@@ -190,12 +190,6 @@ class SXSDecoder:
             )
         self._buffer.extend(data)
 
-    def _consume(self, count: int) -> bytes:
-        position = self._pos
-        data = bytes(self._buffer[position:position + count])
-        self._advance(count)
-        return data
-
     def _advance(self, count: int) -> None:
         """Move the cursor past ``count`` decoded bytes."""
         position = self._pos + count
@@ -215,15 +209,17 @@ class SXSDecoder:
             return False
         start = self._pos
         buffer = self._buffer
-        if bytes(buffer[start:start + len(MAGIC)]) != MAGIC:
+        if buffer[start:start + len(MAGIC)] != MAGIC:
             raise SXSFormatError("bad magic")
         try:
             mode = IndexMode(buffer[start + len(MAGIC)])
         except ValueError as exc:
             raise SXSFormatError("unknown index mode") from exc
         try:
+            # Decoded in place off the live bytearray -- the seed copied
+            # the whole buffered stream here once per session.
             dictionary, offset = TagDictionary.decode(
-                bytes(buffer), start + len(MAGIC) + 1
+                buffer, start + len(MAGIC) + 1
             )
         except ValueError:
             return False  # need more bytes
@@ -269,9 +265,13 @@ class SXSDecoder:
                 return None
             if len(buffer) < after + length:
                 return None
-            self._advance(after - start)
-            raw = self._consume(length)
-            return DecodedText(ValueEvent(raw.decode("utf-8")))
+            # Decode straight off the buffer via an unnamed temporary
+            # view -- it is released before _advance may compact (a
+            # live exported view would make the bytearray resize raise
+            # BufferError).
+            text = str(memoryview(buffer)[after:after + length], "utf-8")
+            self._advance(after - start + length)
+            return DecodedText(ValueEvent(text))
         if opcode == OP_OPEN:
             return self._try_decode_open()
         raise SXSFormatError(f"unknown opcode {opcode:#x}")
@@ -304,12 +304,12 @@ class SXSDecoder:
                 name_len, offset = decode_varint(buffer, offset)
                 if offset + name_len > size:
                     return None
-                name = bytes(buffer[offset:offset + name_len]).decode("utf-8")
+                name = str(memoryview(buffer)[offset:offset + name_len], "utf-8")
                 offset += name_len
                 value_len, offset = decode_varint(buffer, offset)
                 if offset + value_len > size:
                     return None
-                value = bytes(buffer[offset:offset + value_len]).decode("utf-8")
+                value = str(memoryview(buffer)[offset:offset + value_len], "utf-8")
                 offset += value_len
                 attributes.append((name, value))
             tags_inside_ids: frozenset[int] | None = None

@@ -81,7 +81,9 @@ class TagDictionary:
         return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int = 0) -> tuple["TagDictionary", int]:
+    def decode(
+        cls, data: "bytes | bytearray", offset: int = 0
+    ) -> tuple["TagDictionary", int]:
         """Deserialize; return ``(dictionary, next_offset)``."""
         count, offset = decode_varint(data, offset)
         names: list[str] = []

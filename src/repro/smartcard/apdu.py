@@ -109,11 +109,19 @@ class ResponseAPDU:
 RESPONSE_OK = ResponseAPDU(StatusWord.OK)
 
 
-def split_payload(data: bytes, limit: int = 255) -> list[bytes]:
-    """Cut a transfer into APDU-sized pieces (at least one, maybe empty)."""
+def split_payload(
+    data: "bytes | bytearray | memoryview", limit: int = 255
+) -> "list[memoryview] | list[bytes]":
+    """Cut a transfer into APDU-sized pieces (at least one, maybe empty).
+
+    The pieces are zero-copy views of ``data`` -- the payload bytes are
+    materialized nowhere between the caller's buffer and the wire.
+    Callers that outlive ``data`` (none today) must copy.
+    """
     if not data:
         return [b""]
-    return [data[i:i + limit] for i in range(0, len(data), limit)]
+    view = memoryview(data)
+    return [view[i:i + limit] for i in range(0, len(data), limit)]
 
 
 # -- chunk-batch framing -----------------------------------------------------
@@ -135,8 +143,13 @@ BATCH_SUMMARY = ">QBHHI"
 BATCH_RECORD_OVERHEAD = 4
 
 
-def encode_batch_records(members: "list[tuple[int, bytes]]") -> bytes:
-    """Serialize ``(chunk_index, blob)`` pairs into one batch payload."""
+def encode_batch_records(members: "list[tuple[int, bytes]]") -> bytearray:
+    """Serialize ``(chunk_index, blob)`` pairs into one batch payload.
+
+    Returns the working ``bytearray`` itself: the payload is consumed
+    immediately by :func:`split_payload` and a final ``bytes()`` copy
+    would double the transfer's memory traffic for nothing.
+    """
     out = bytearray()
     for index, blob in members:
         if not 0 <= index <= 0xFFFF:
@@ -146,7 +159,7 @@ def encode_batch_records(members: "list[tuple[int, bytes]]") -> bytes:
         out += index.to_bytes(2, "big")
         out += len(blob).to_bytes(2, "big")
         out += blob
-    return bytes(out)
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -215,31 +228,61 @@ def transmit_chunk_batch(
 class BatchAssembler:
     """Card-side incremental parser for PUT_CHUNK_BATCH frames.
 
-    Frames may split a record anywhere; the assembler buffers only the
-    unfinished tail (at most one record header plus one chunk blob, a
-    transient I/O staging area like the card's APDU buffer -- it is
-    deliberately *not* charged against the secure RAM quota).  Complete
-    records are handed back as soon as their last byte arrives, so the
-    applet processes the batch in streaming order.
+    Frames may split a record anywhere; the assembler buffers only
+    frame-spanning tails (at most one record header plus one chunk
+    blob, a transient I/O staging area like the card's APDU buffer --
+    it is deliberately *not* charged against the secure RAM quota).
+    Complete records are handed back as soon as their last byte
+    arrives, so the applet processes the batch in streaming order.
+
+    Records fully contained in one frame -- the overwhelming common
+    case -- are returned as zero-copy subviews of that frame; only a
+    record split across frames is assembled through (and copied out
+    of) the staging buffer.  Returned views must therefore be consumed
+    before the next frame arrives, which the synchronous APDU exchange
+    guarantees.
     """
 
     def __init__(self) -> None:
         self._staging = bytearray()
 
-    def feed(self, frame: bytes) -> list[tuple[int, bytes]]:
+    def feed(
+        self, frame: "bytes | memoryview"
+    ) -> "list[tuple[int, bytes | memoryview]]":
         """Absorb one frame; return the records it completed."""
-        self._staging += frame
-        records: list[tuple[int, bytes]] = []
-        while len(self._staging) >= BATCH_RECORD_OVERHEAD:
-            index = int.from_bytes(self._staging[0:2], "big")
-            length = int.from_bytes(self._staging[2:4], "big")
-            end = BATCH_RECORD_OVERHEAD + length
-            if len(self._staging) < end:
+        view = frame if isinstance(frame, memoryview) else memoryview(frame)
+        size = len(view)
+        position = 0
+        records: list[tuple[int, "bytes | memoryview"]] = []
+        staging = self._staging
+        while staging:
+            # Finish the record left dangling by the previous frame:
+            # top the staging buffer up to the header, then the body.
+            if len(staging) < BATCH_RECORD_OVERHEAD:
+                take = min(BATCH_RECORD_OVERHEAD - len(staging), size - position)
+                staging += view[position:position + take]
+                position += take
+                if len(staging) < BATCH_RECORD_OVERHEAD:
+                    return records
+            end = BATCH_RECORD_OVERHEAD + int.from_bytes(staging[2:4], "big")
+            take = min(end - len(staging), size - position)
+            staging += view[position:position + take]
+            position += take
+            if len(staging) < end:
+                return records
+            index = int.from_bytes(staging[0:2], "big")
+            records.append((index, bytes(staging[BATCH_RECORD_OVERHEAD:end])))
+            staging.clear()
+        while size - position >= BATCH_RECORD_OVERHEAD:
+            length = int.from_bytes(view[position + 2:position + 4], "big")
+            end = position + BATCH_RECORD_OVERHEAD + length
+            if end > size:
                 break
-            records.append(
-                (index, bytes(self._staging[BATCH_RECORD_OVERHEAD:end]))
-            )
-            del self._staging[:end]
+            index = int.from_bytes(view[position:position + 2], "big")
+            records.append((index, view[position + BATCH_RECORD_OVERHEAD:end]))
+            position = end
+        if position < size:
+            staging += view[position:]
         return records
 
     @property

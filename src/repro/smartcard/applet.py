@@ -498,14 +498,26 @@ class CardApplet:
     # -- output -------------------------------------------------------------------
 
     def read_output(self, limit: int = 256) -> bytes:
-        """Drain up to ``limit`` bytes of authorized output."""
-        piece = bytes(self._output[:limit])
+        """Drain up to ``limit`` bytes of authorized output.
+
+        One copy, not two: the seed sliced the bytearray (copy) and
+        re-wrapped it in ``bytes`` (copy).  The temporary view is
+        released before ``del`` resizes the buffer.
+        """
+        piece = bytes(memoryview(self._output)[:limit])
         del self._output[:limit]
         return piece
 
     @property
     def output_pending(self) -> int:
         return len(self._output)
+
+    @property
+    def engine_stats(self):
+        """The session's evaluator counters (``None`` pre-controller)."""
+        if self._controller is None:
+            return None
+        return self._controller.stats
 
     @property
     def max_pending_bytes(self) -> int:

@@ -624,3 +624,8 @@ class CardProxy:
         metrics.bytes_decrypted = self.card.applet.bytes_decrypted
         metrics.bytes_skipped = self.card.applet.bytes_skipped
         metrics.max_pending_bytes = self.card.applet.max_pending_bytes
+        stats = self.card.applet.engine_stats
+        if stats is not None:
+            metrics.events_pumped = stats.events_pumped
+            metrics.tokens_touched = stats.tokens_touched
+            metrics.product_states_interned = stats.product_states_interned

@@ -1,0 +1,200 @@
+"""Differential testing: product machine vs. the legacy token engine.
+
+The table-driven product automaton is a wall-clock optimization only:
+on any document and any *pure* (predicate-free) rule set it must be
+observationally identical to the token-stack engine it replaces --
+same delivered views, same match sets, same charge-relevant counters.
+These properties are exercised over the same random corpora as the
+engine-vs-oracle differential suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import compile_policy
+from repro.core.multicast import MultiSubjectEvaluator
+from repro.core.product import ProductEngine
+from repro.core.rules import AccessRule, RuleSet, Sign
+from repro.core.runtime import EngineStats, TokenEngine
+from repro.xmlstream.events import OpenEvent, ValueEvent
+from repro.xmlstream.tree import Element, tree_to_events
+from repro.xmlstream.writer import write_string
+
+from tests.strategies import TAGS, elements, rule_sets
+
+
+@st.composite
+def pure_xpath_texts(draw) -> str:
+    """A random predicate-free expression in XP{*,//}."""
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        axis = draw(st.sampled_from(["/", "//"]))
+        test = draw(st.sampled_from(TAGS + ["*"]))
+        steps.append(f"{axis}{test}")
+    return "".join(steps)
+
+
+@st.composite
+def pure_rule_sets(draw, subject: str = "u") -> RuleSet:
+    """A random policy whose compiled automata are all pure."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    rules = []
+    for index in range(count):
+        sign = draw(st.sampled_from([Sign.PERMIT, Sign.DENY]))
+        rules.append(
+            AccessRule.parse(
+                sign, subject, draw(pure_xpath_texts()), rule_id=f"G{index}"
+            )
+        )
+    return RuleSet(rules)
+
+
+class _RecordingSink:
+    """Captures (event_index, automaton, sign) for match-set diffing."""
+
+    __slots__ = ("log", "clock", "slot", "sign")
+
+    def __init__(self, log, clock, slot, sign):
+        self.log = log
+        self.clock = clock
+        self.slot = slot
+        self.sign = sign
+
+    def on_match(self, conditions) -> None:
+        assert not conditions  # pure paths carry no predicate conditions
+        self.log.append((self.clock[0], self.slot, self.sign))
+
+
+def _pump_with_log(engine_cls, policy, events):
+    """Run one engine over ``events``; return (match log, stats)."""
+    stats = EngineStats()
+    engine = engine_cls(stats=stats)
+    log: list[tuple[int, int, Sign]] = []
+    clock = [0]
+    sinks = [
+        _RecordingSink(log, clock, slot, sign)
+        for slot, sign in enumerate(policy.signs)
+    ]
+    engine.add_policy(policy, sinks)
+    for event in events:
+        if isinstance(event, OpenEvent):
+            engine.open(event.tag)
+        elif isinstance(event, ValueEvent):
+            engine.value(event.text)
+        else:
+            engine.close()
+        clock[0] += 1
+    return log, stats
+
+
+@settings(max_examples=200, deadline=None)
+@given(root=elements(), rules=pure_rule_sets())
+def test_match_sets_identical(root, rules):
+    """Both engines report the same matches at the same events."""
+    policy = compile_policy(rules, "u", Sign.DENY)
+    events = list(tree_to_events(root))
+    legacy_log, _ = _pump_with_log(TokenEngine, policy, events)
+    product_log, stats = _pump_with_log(ProductEngine, policy, events)
+    # Within one event the engines may fire sinks in different orders
+    # (token iteration vs interned-set iteration), which no consumer
+    # can observe: compare as multisets per event.
+    assert sorted(legacy_log) == sorted(product_log), (
+        f"doc={write_string(events)!r} rules=\n{rules}"
+    )
+    assert stats.events_pumped == len(events)
+
+
+@settings(max_examples=150, deadline=None)
+@given(root=elements(), rules=rule_sets())
+def test_views_identical_any_rules(root, rules):
+    """Delivered views agree even when predicates force the fallback."""
+    events = list(tree_to_events(root))
+    policies = [compile_policy(rules, "u", Sign.DENY)]
+    auto = MultiSubjectEvaluator(policies).run(events)
+    legacy = MultiSubjectEvaluator(policies, engine="legacy").run(events)
+    assert [write_string(lane) for lane in auto] == [
+        write_string(lane) for lane in legacy
+    ]
+
+
+@settings(max_examples=150, deadline=None)
+@given(root=elements(), rules=pure_rule_sets())
+def test_multicast_views_identical_and_product_engaged(root, rules):
+    """Pure audiences run on the product machine, byte-identically."""
+    events = list(tree_to_events(root))
+    policy = compile_policy(rules, "u", Sign.DENY)
+    audience = [policy, policy, policy]
+    stats = EngineStats()
+    auto = MultiSubjectEvaluator(audience, stats=stats).run(events)
+    legacy = MultiSubjectEvaluator(audience, engine="legacy").run(events)
+    assert [write_string(lane) for lane in auto] == [
+        write_string(lane) for lane in legacy
+    ]
+    # Pure policies must have auto-selected the product machine.
+    assert stats.events_pumped == len(events)
+
+
+@settings(max_examples=150, deadline=None)
+@given(root=elements(), rules=pure_rule_sets())
+def test_interning_is_bounded_and_memoized(root, rules):
+    """Interned product states stay within the sound combinatorial
+    bounds, and a second pass over the same document interns nothing."""
+    policy = compile_policy(rules, "u", Sign.DENY)
+    events = list(tree_to_events(root))
+    stats = EngineStats()
+    engine = ProductEngine(stats=stats)
+    engine.add_policy(policy, [_NullSink()] * len(policy.automata))
+    opens = 0
+    for _ in range(2):
+        first_pass = stats.product_states_interned
+        for event in events:
+            if isinstance(event, OpenEvent):
+                engine.open(event.tag)
+                opens += 1
+            elif isinstance(event, ValueEvent):
+                engine.value(event.text)
+            else:
+                engine.close()
+    # Second pass hit only memoized transitions: nothing new interned.
+    assert stats.product_states_interned == first_pass
+    total_steps = sum(len(path.steps) for path in policy.automata)
+    bound = min(2 ** total_steps, 1 + opens)
+    assert stats.product_states_interned <= bound
+
+
+class _NullSink:
+    __slots__ = ()
+
+    def on_match(self, conditions) -> None:
+        pass
+
+
+def test_product_engine_rejects_impure_paths():
+    rules = RuleSet(
+        [AccessRule.parse(Sign.PERMIT, "u", '/a[b = "1"]', rule_id="G0")]
+    )
+    policy = compile_policy(rules, "u", Sign.DENY)
+    engine = ProductEngine()
+    with pytest.raises(ValueError):
+        engine.add_policy(policy, [_NullSink()] * len(policy.automata))
+
+
+def test_multicast_engine_override_validation():
+    rules = RuleSet([AccessRule.parse(Sign.PERMIT, "u", "/a", rule_id="G0")])
+    impure = RuleSet(
+        [AccessRule.parse(Sign.PERMIT, "u", '/a[b = "1"]', rule_id="G0")]
+    )
+    pure_policy = compile_policy(rules, "u", Sign.DENY)
+    impure_policy = compile_policy(impure, "u", Sign.DENY)
+    with pytest.raises(ValueError):
+        MultiSubjectEvaluator([pure_policy], engine="turbo")
+    with pytest.raises(ValueError):
+        MultiSubjectEvaluator([impure_policy], engine="product")
+    # Impure policies silently take the legacy engine under "auto".
+    stats = EngineStats()
+    evaluator = MultiSubjectEvaluator([impure_policy], stats=stats)
+    evaluator.run(tree_to_events(Element("a")))
+    assert stats.product_states_interned == 0

@@ -1,0 +1,86 @@
+"""Regression guard: the pull hot path must not materialize payloads.
+
+The decoder and APDU layers were rewritten to thread ``memoryview``
+slices end-to-end (wire -> proxy -> assembler -> decoder); the only
+``bytes(...)`` constructions still allowed on a pull session are small
+bounded copies -- an APDU frame's worth at most (256 bytes: the
+GET_OUTPUT drain and a frame-spanning batch record's staging flush).
+This test shadows ``bytes`` inside the hot modules with a spy and
+fails on any larger materialization, so a future refactor cannot
+quietly reintroduce whole-payload copies.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import pytest
+
+import repro.skipindex.decoder as decoder_module
+import repro.smartcard.apdu as apdu_module
+from repro.bench.harness import PullSetup, run_pull_session
+from repro.skipindex.encoder import IndexMode
+from repro.terminal.transfer import TransferPolicy
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+#: The largest defensible copy on the pull path: one short-form APDU
+#: response frame (the GET_OUTPUT drain copies at most this much).
+FRAME_LIMIT = 256
+
+_HOT_MODULES = (decoder_module, apdu_module)
+
+
+class _BytesSpy:
+    """Counts ``bytes(...)`` constructions and their sizes."""
+
+    def __init__(self) -> None:
+        self.oversize: list[int] = []
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        result = builtins.bytes(*args, **kwargs)
+        self.calls += 1
+        if len(result) > FRAME_LIMIT:
+            self.oversize.append(len(result))
+        return result
+
+
+@pytest.fixture
+def bytes_spy():
+    spy = _BytesSpy()
+    for module in _HOT_MODULES:
+        module.bytes = spy  # shadow the builtin in the hot namespaces
+    try:
+        yield spy
+    finally:
+        for module in _HOT_MODULES:
+            del module.__dict__["bytes"]
+
+
+@pytest.mark.parametrize(
+    "transfer",
+    [None, TransferPolicy.windowed(4)],
+    ids=["sequential", "windowed4"],
+)
+def test_pull_session_materializes_no_payloads(bytes_spy, transfer):
+    events = list(tree_to_events(hospital(n_patients=8)))
+    outcome = run_pull_session(
+        PullSetup(
+            events=events,
+            rules=hospital_rules(),
+            subject="doctor",
+            index_mode=IndexMode.RECURSIVE,
+            transfer=transfer,
+        )
+    )
+    assert outcome.xml  # the session actually delivered a view
+    assert not bytes_spy.oversize, (
+        f"pull path materialized payload copies larger than one APDU "
+        f"frame: sizes {bytes_spy.oversize}"
+    )
+    if transfer is not None:
+        # Frame-spanning batch records flush through the staging buffer
+        # as small copies -- proof the spy shadowing actually bites.
+        assert bytes_spy.calls > 0
