@@ -26,8 +26,10 @@ untrusted *service*, not a Python object):
 * ``Community(store_path="dsp.db")`` -- the DSP's disk is a durable
   SQLite file; ``Community.open(path)`` reopens it in a fresh process
   with every document, rule version and wrapped key intact;
-* ``community.serve()`` -- expose the DSP over TCP
-  (:class:`~repro.dsp.remote.DSPSocketServer`);
+* ``community.serve()`` -- expose the DSP over TCP, by default through
+  the event-loop :class:`~repro.dsp.reactor.ReactorDSPServer` with
+  admission control (``server="threaded"`` keeps the
+  thread-per-connection baseline);
   ``Community.attach(RemoteDSP.connect(addr))`` builds a reader-side
   community in another process whose terminals pull from it.
 
@@ -53,6 +55,7 @@ from repro.crypto.container import DocumentContainer
 from repro.crypto.pki import SimulatedPKI
 from repro.dsp.backends import SQLiteBackend, StoreBackend
 from repro.dsp.client import DSPClient
+from repro.dsp.reactor import AdmissionPolicy, ReactorDSPServer
 from repro.dsp.remote import DSPSocketServer
 from repro.dsp.server import DSPServer
 from repro.dsp.store import DSPStore
@@ -172,7 +175,7 @@ class Community:
         self._documents: dict[str, Document] = {}
         self._channels: dict[str, Channel] = {}
         self._doc_sequence = 0
-        self._servers: list[DSPSocketServer] = []
+        self._servers: list[ReactorDSPServer | DSPSocketServer] = []
         self._restoring = False
 
     # -- topology ---------------------------------------------------------
@@ -253,14 +256,30 @@ class Community:
         return cls(client=client, registry=registry)
 
     def serve(
-        self, host: str = "127.0.0.1", port: int = 0
-    ) -> DSPSocketServer:
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        server: str = "reactor",
+        loops: int = 1,
+        admission: AdmissionPolicy | None = None,
+        idle_timeout: float | None = None,
+    ) -> "ReactorDSPServer | DSPSocketServer":
         """Expose this community's DSP over TCP.
 
-        Returns the running :class:`~repro.dsp.remote.DSPSocketServer`
-        (``server.address`` is the bound endpoint; ``port=0`` picks an
-        ephemeral port).  Many remote terminals can pull concurrently;
-        the server is also closed by :meth:`close`.
+        ``server`` picks the serving architecture: ``"reactor"`` (the
+        default) is the non-blocking event-loop
+        :class:`~repro.dsp.reactor.ReactorDSPServer` -- buffered
+        writes so slow readers never stall the fleet, ``loops`` loop
+        workers, ``admission`` capacity limits rejecting over-capacity
+        requests with typed :class:`~repro.errors.ResourceExhausted`
+        frames; ``"threaded"`` is the thread-per-connection
+        :class:`~repro.dsp.remote.DSPSocketServer` kept as the
+        comparison baseline.  Either way ``server.address`` is the
+        bound endpoint (``port=0`` picks an ephemeral port),
+        ``idle_timeout`` reaps abandoned connections, many remote
+        terminals can pull concurrently, and the server is also closed
+        by :meth:`close`.
         """
         dsp = self.dsp
         if not isinstance(dsp, DSPServer):
@@ -268,9 +287,32 @@ class Community:
                 "this community is attached to a remote DSP; only the "
                 "process that owns the store can serve it"
             )
-        server = DSPSocketServer(dsp, host=host, port=port)
-        self._servers.append(server)
-        return server
+        endpoint: ReactorDSPServer | DSPSocketServer
+        if server == "reactor":
+            endpoint = ReactorDSPServer(
+                dsp,
+                host=host,
+                port=port,
+                loops=loops,
+                admission=admission,
+                idle_timeout=idle_timeout,
+            )
+        elif server == "threaded":
+            if loops != 1 or admission is not None:
+                raise PolicyError(
+                    "loops= and admission= are reactor features; the "
+                    "threaded baseline takes only idle_timeout="
+                )
+            endpoint = DSPSocketServer(
+                dsp, host=host, port=port, idle_timeout=idle_timeout
+            )
+        else:
+            raise PolicyError(
+                f"unknown server architecture {server!r} "
+                "(choose 'reactor' or 'threaded')"
+            )
+        self._servers.append(endpoint)
+        return endpoint
 
     def close(self) -> None:
         """Shut down served endpoints and the durable store (idempotent)."""

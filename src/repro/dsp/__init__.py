@@ -15,7 +15,9 @@ push them (dissemination).  The layer is organized around three seams:
   (header, chunk, chunk range, rules, wrapped key) with network-cost
   accounting;
 * **wire** -- :mod:`repro.dsp.wire` serializes those requests and
-  responses (typed errors included), :class:`DSPSocketServer` serves
+  responses (typed errors included), :class:`ReactorDSPServer` (the
+  event-loop production server with admission control) or the
+  threaded :class:`DSPSocketServer` (the comparison baseline) serves
   them over TCP and :class:`RemoteDSP` consumes them; terminals only
   ever see the :class:`~repro.dsp.client.DSPClient` protocol.
 
@@ -26,16 +28,19 @@ used by the security tests and E9.
 
 from repro.dsp.backends import (
     MemoryBackend,
+    ShardedBackend,
     SQLiteBackend,
     StoreBackend,
     StoredDocument,
 )
 from repro.dsp.client import DSPClient, LocalDSP
+from repro.dsp.reactor import AdmissionPolicy, ReactorDSPServer
 from repro.dsp.remote import ConnectionStats, DSPSocketServer, RemoteDSP
 from repro.dsp.server import DSPServer, TrustedFilterService
 from repro.dsp.store import DSPStore
 
 __all__ = [
+    "AdmissionPolicy",
     "ConnectionStats",
     "DSPClient",
     "DSPServer",
@@ -43,7 +48,9 @@ __all__ = [
     "DSPStore",
     "LocalDSP",
     "MemoryBackend",
+    "ReactorDSPServer",
     "RemoteDSP",
+    "ShardedBackend",
     "SQLiteBackend",
     "StoreBackend",
     "StoredDocument",

@@ -1,0 +1,687 @@
+"""The DSP's event-loop server: non-blocking, buffered, admission-controlled.
+
+The threaded :class:`~repro.dsp.remote.DSPSocketServer` spends one OS
+thread per connection and serializes every dispatch behind one lock --
+fine for a handful of terminals, hopeless for the ROADMAP's "millions
+of users".  :class:`ReactorDSPServer` is the production shape: one
+non-blocking selector loop (or ``loops=N`` workers, connections
+round-robined across them) with per-connection read/write buffering
+over the same length-prefixed :mod:`repro.dsp.wire` codec, so
+
+* a slow reader never blocks anyone -- its responses queue in *its*
+  write buffer while the loop keeps serving everybody else;
+* there is no dispatch lock -- each loop serves its connections
+  sequentially, per-connection accounting lives in loop-owned
+  :class:`~repro.dsp.remote.ConnectionStats` (single-writer, no
+  locks), and server totals are aggregated on demand;
+* read-mostly dissemination traffic is served from a per-loop response
+  cache (raw request bytes -> framed response, invalidated wholesale
+  when the store's mutation ``generation`` moves) -- single-writer
+  like everything else the loop owns, which is exactly why it can
+  exist without a lock -- and a pipelined batch of responses leaves in
+  coalesced sends, one syscall per run of small frames;
+* over-capacity traffic **fails fast** with a typed
+  :class:`~repro.errors.ResourceExhausted` wire frame carrying a
+  :class:`~repro.errors.CapacityReport` (scope, limit, current) --
+  the 429-with-capacity-report contract -- instead of queueing into
+  collapse or hanging silently.
+
+The reactor serves *real* traffic measured in wall time: it reads
+documents through the pure fetch helpers in :mod:`repro.dsp.server`
+and does **not** drive the owning :class:`DSPServer`'s simulated
+network clock or request counters -- those model the simulated
+deployments; the reactor's own totals (:attr:`requests`,
+:attr:`bytes_served`, :attr:`chunks_served`, rejection counters) are
+the operational truth.
+
+:class:`~repro.dsp.remote.RemoteDSP` speaks to either server
+unchanged; ``community.serve(server="reactor")`` is the facade-level
+switch (and the default).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from types import TracebackType
+
+from repro.dsp.remote import ConnectionStats
+from repro.dsp.server import (
+    DSPServer,
+    fetch_chunk,
+    fetch_chunk_range,
+    fetch_header,
+    fetch_rules,
+    fetch_wrapped_key,
+)
+from repro.dsp.store import DSPStore
+from repro.dsp.wire import (
+    MAX_FRAME,
+    GetChunk,
+    GetChunkRange,
+    GetHeader,
+    GetRules,
+    GetWrappedKey,
+    Request,
+    WireError,
+    decode_request,
+    encode_error,
+    encode_response,
+    frame,
+)
+from repro.errors import CapacityReport, ResourceExhausted
+
+__all__ = ["AdmissionPolicy", "ReactorDSPServer"]
+
+_U32 = struct.Struct(">I")
+
+#: One recv() per readable socket per loop turn.
+_RECV_SIZE = 1 << 18
+
+#: A connection whose write backlog exceeds ``client_backlog`` by this
+#: factor is beyond help -- it is not reading even its rejection
+#: frames -- and gets disconnected instead of buffered further.
+_BACKLOG_HARD_FACTOR = 2
+
+#: Coalesce up to this many bytes of small pending frames into one
+#: ``send`` -- a pipelining client's batch of responses costs one
+#: syscall, not one per frame.
+_COALESCE_BYTES = 1 << 16
+
+#: Per-loop response-cache bounds.  Dissemination traffic is
+#: read-mostly and narrow (a fleet pulling the same few documents), so
+#: the hot set is small; on overflow the oldest entries fall out FIFO.
+_CACHE_MAX_ENTRIES = 4096
+_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPolicy:
+    """Capacity ceilings the reactor enforces, 429-style.
+
+    Every limit rejects with a typed
+    :class:`~repro.errors.ResourceExhausted` frame whose
+    :class:`~repro.errors.CapacityReport` names the exhausted scope and
+    the numbers behind the decision -- never a silent hang:
+
+    * ``max_connections`` -- concurrent connections across the server;
+      connection number ``max+1`` receives one rejection frame and is
+      closed.
+    * ``client_inflight`` -- responses queued (accepted but not yet
+      fully written) per connection; caps how far a client may
+      pipeline ahead of its own reading.
+    * ``client_backlog`` -- bytes of unflushed responses per
+      connection; the slow-reader bound.  A connection still sending
+      requests at ``2x`` this backlog is dropped outright.
+    * ``server_inflight`` -- responses queued across *all*
+      connections; the global memory bound.
+
+    ``sndbuf`` caps the kernel send buffer (``SO_SNDBUF``) per
+    connection.  The backlog limits above measure the *userspace*
+    queue, and on loopback the kernel will happily autotune its own
+    buffer to megabytes -- hiding a lagging client from admission
+    control entirely.  Bounding it keeps the visible backlog an honest
+    measure of how far behind the peer really is.  ``None`` leaves the
+    kernel default.
+    """
+
+    max_connections: int = 512
+    client_inflight: int = 32
+    client_backlog: int = 8 * 1024 * 1024
+    server_inflight: int = 4096
+    sndbuf: int | None = None
+
+
+class _Connection:
+    """One buffered non-blocking connection, owned by exactly one loop."""
+
+    __slots__ = (
+        "sock",
+        "stats",
+        "inbuf",
+        "pending",
+        "head_sent",
+        "pending_bytes",
+        "last_activity",
+        "wants_write",
+    )
+
+    def __init__(self, sock: socket.socket, stats: ConnectionStats) -> None:
+        self.sock = sock
+        self.stats = stats
+        self.inbuf = bytearray()
+        #: Whole outbound frames awaiting the socket; ``head_sent``
+        #: bytes of the head frame are already on the wire.
+        self.pending: deque[bytes] = deque()
+        self.head_sent = 0
+        self.pending_bytes = 0
+        self.last_activity = time.monotonic()
+        self.wants_write = False
+
+
+class _LoopWorker(threading.Thread):
+    """One selector loop: reads, dispatches, buffers writes, reaps idle."""
+
+    def __init__(self, server: "ReactorDSPServer", index: int) -> None:
+        super().__init__(name=f"dsp-reactor-{server.address[1]}-{index}", daemon=True)
+        self.server = server
+        self.index = index
+        self.selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self.selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._inbox: deque[tuple[socket.socket, ConnectionStats]] = deque()
+        self._inbox_lock = threading.Lock()
+        self.conns: set[_Connection] = set()
+        self.closing = False
+        # Single-writer counters; other threads only read them.
+        self.requests = 0
+        self.bytes_served = 0
+        self.chunks_served = 0
+        self.rejected_requests = 0
+        self.cache_hits = 0
+        self.inflight = 0
+        # The loop-local response cache: raw request body -> (framed
+        # response, chunks it carries).  Single-writer like everything
+        # else this loop owns, so it needs no locks -- the structural
+        # payoff of the reactor shape.  Invalidated wholesale whenever
+        # the store's generation moves.
+        self._cache: dict[bytes, tuple[bytes, int]] = {}
+        self._cache_bytes = 0
+        self._cache_generation = -1
+
+    # -- cross-thread entry points ----------------------------------------
+
+    def wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass
+
+    def hand_off(self, sock: socket.socket, stats: ConnectionStats) -> None:
+        with self._inbox_lock:
+            self._inbox.append((sock, stats))
+        self.wake()
+
+    # -- loop body ---------------------------------------------------------
+
+    def run(self) -> None:
+        idle = self.server.idle_timeout
+        timeout = None if idle is None else max(0.05, idle / 4)
+        try:
+            while True:
+                for key, events in self.selector.select(timeout):
+                    if key.data == "wake":
+                        self._drain_wake()
+                    elif key.data == "listener":
+                        self.server._accept_ready()
+                    else:
+                        conn: _Connection = key.data
+                        if events & selectors.EVENT_WRITE:
+                            self._writable(conn)
+                        if events & selectors.EVENT_READ:
+                            self._readable(conn)
+                if self.closing:
+                    return
+                if idle is not None:
+                    self._reap_idle(idle)
+        finally:
+            for conn in list(self.conns):
+                self._close_conn(conn)
+            with self._inbox_lock:
+                leftover = list(self._inbox)
+                self._inbox.clear()
+            for sock, stats in leftover:
+                sock.close()
+                stats.open = False
+            self.selector.close()
+            self._wake_r.close()
+            self._wake_w.close()
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        while True:
+            with self._inbox_lock:
+                if not self._inbox:
+                    return
+                sock, stats = self._inbox.popleft()
+            self._adopt(sock, stats)
+
+    def _adopt(self, sock: socket.socket, stats: ConnectionStats) -> None:
+        if self.closing:
+            sock.close()
+            stats.open = False
+            return
+        conn = _Connection(sock, stats)
+        self.conns.add(conn)
+        self.selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _reap_idle(self, idle: float) -> None:
+        now = time.monotonic()
+        for conn in [c for c in self.conns if now - c.last_activity > idle]:
+            self.server._reaped += 1
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        self.conns.discard(conn)
+        self.inflight -= len(conn.pending)
+        try:
+            self.selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.sock.close()
+        conn.pending.clear()
+        conn.pending_bytes = 0
+        conn.stats.open = False
+
+    # -- reading and dispatch ----------------------------------------------
+
+    def _readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)
+            return
+        conn.last_activity = time.monotonic()
+        conn.inbuf += data
+        self._drain_frames(conn)
+
+    def _drain_frames(self, conn: _Connection) -> bool:
+        """Process every complete frame buffered on ``conn``.
+
+        Returns ``False`` if the connection was closed (protocol
+        violation or hard backlog overflow).
+        """
+        buf = conn.inbuf
+        offset = 0
+        try:
+            while True:
+                if len(buf) - offset < 4:
+                    break
+                (length,) = _U32.unpack_from(buf, offset)
+                if length > MAX_FRAME:
+                    # A hostile length prefix: drop the connection;
+                    # nothing sensible can follow it on the stream.
+                    self._close_conn(conn)
+                    return False
+                if len(buf) - offset < 4 + length:
+                    break
+                body = bytes(buf[offset + 4:offset + 4 + length])
+                offset += 4 + length
+                if not self._serve_frame(conn, body):
+                    self._close_conn(conn)
+                    return False
+                if conn not in self.conns:
+                    # A write error closed the connection mid-batch;
+                    # the remaining buffered frames died with it.
+                    return False
+            # One flush per batch: a pipelined burst of responses
+            # leaves in coalesced sends, and anything the kernel
+            # refuses stays queued under EVENT_WRITE.
+            if conn.pending:
+                self._writable(conn)
+        finally:
+            if offset:
+                del buf[:offset]
+        return True
+
+    def _serve_frame(self, conn: _Connection, body: bytes) -> bool:
+        stats = conn.stats
+        stats.requests += 1
+        stats.bytes_in += 4 + len(body)
+        self.requests += 1
+        generation = self.server.store.generation
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_bytes = 0
+            self._cache_generation = generation
+        cached = self._cache.get(body)
+        if cached is None:
+            try:
+                request = decode_request(body)
+            except WireError as exc:
+                stats.errors += 1
+                self._queue(conn, frame(encode_error(exc)))
+                return True
+        rejection = self._admit(conn)
+        if rejection is not None:
+            self.rejected_requests += 1
+            stats.errors += 1
+            if conn.pending_bytes >= (
+                self.server.admission.client_backlog * _BACKLOG_HARD_FACTOR
+            ):
+                return False  # not even reading its rejections: drop it
+            self._queue(conn, frame(encode_error(rejection)))
+            return True
+        if cached is not None:
+            # The fast path: a request these exact bytes already
+            # answered under this store generation -- no decode, no
+            # fetch, no encode, no copy.
+            framed, chunks = cached
+            self.cache_hits += 1
+            self.chunks_served += chunks
+            self._queue(conn, framed)
+        else:
+            chunks = 0
+            try:
+                value = self._execute(request)
+                response = encode_response(request, value)
+                if isinstance(request, GetChunk):
+                    chunks = 1
+                elif isinstance(request, GetChunkRange):
+                    assert isinstance(value, list)
+                    chunks = len(value)
+                self.chunks_served += chunks
+                framed = frame(response)
+                self._cache_put(body, framed, chunks)
+            except Exception as exc:  # typed errors travel; nothing escapes
+                stats.errors += 1
+                framed = frame(encode_error(exc))
+            self._queue(conn, framed)
+        # Flush early once a batch's responses pass the coalesce
+        # threshold; the per-batch flush in ``_drain_frames`` handles
+        # the tail.  In-flight counts therefore measure genuine
+        # backpressure plus at most one batch still being assembled.
+        if conn.pending_bytes >= _COALESCE_BYTES:
+            self._writable(conn)
+        return True
+
+    def _cache_put(self, body: bytes, framed: bytes, chunks: int) -> None:
+        if len(framed) > _CACHE_MAX_BYTES // 8:
+            return  # one giant response must not own the cache
+        self._cache[body] = (framed, chunks)
+        self._cache_bytes += len(framed)
+        while (
+            len(self._cache) > _CACHE_MAX_ENTRIES
+            or self._cache_bytes > _CACHE_MAX_BYTES
+        ):
+            oldest, (evicted, _) = next(iter(self._cache.items()))
+            del self._cache[oldest]
+            self._cache_bytes -= len(evicted)
+
+    def _admit(self, conn: _Connection) -> ResourceExhausted | None:
+        policy = self.server.admission
+        if len(conn.pending) >= policy.client_inflight:
+            return ResourceExhausted(
+                "client has too many responses in flight",
+                capacity=CapacityReport(
+                    "client-inflight", policy.client_inflight, len(conn.pending)
+                ),
+            )
+        if conn.pending_bytes >= policy.client_backlog:
+            return ResourceExhausted(
+                "client is reading too slowly for its request rate",
+                capacity=CapacityReport(
+                    "client-backlog", policy.client_backlog, conn.pending_bytes
+                ),
+            )
+        total = self.server._inflight_total()
+        if total >= policy.server_inflight:
+            return ResourceExhausted(
+                "server is at capacity",
+                capacity=CapacityReport(
+                    "server-inflight", policy.server_inflight, total
+                ),
+            )
+        return None
+
+    def _execute(self, request: Request) -> object:
+        store = self.server.store
+        if isinstance(request, GetHeader):
+            return fetch_header(store, request.doc_id)
+        if isinstance(request, GetChunk):
+            return fetch_chunk(store, request.doc_id, request.index)
+        if isinstance(request, GetChunkRange):
+            return fetch_chunk_range(
+                store, request.doc_id, request.start, request.count
+            )
+        if isinstance(request, GetRules):
+            return fetch_rules(store, request.doc_id)
+        return fetch_wrapped_key(store, request.doc_id, request.recipient)
+
+    # -- writing ------------------------------------------------------------
+
+    def _queue(self, conn: _Connection, framed: bytes) -> None:
+        conn.pending.append(framed)
+        conn.pending_bytes += len(framed)
+        conn.stats.bytes_out += len(framed)
+        self.bytes_served += len(framed)
+        self.inflight += 1
+
+    def _writable(self, conn: _Connection) -> None:
+        try:
+            while conn.pending:
+                head = conn.pending[0]
+                headroom = len(head) - conn.head_sent
+                if len(conn.pending) == 1 or headroom >= _COALESCE_BYTES:
+                    payload: bytes | memoryview = memoryview(head)[
+                        conn.head_sent:
+                    ]
+                else:
+                    # Join a run of small frames so a pipelined batch
+                    # goes out in one syscall.
+                    parts: list[bytes | memoryview] = [
+                        memoryview(head)[conn.head_sent:]
+                    ]
+                    size = headroom
+                    for nxt in list(conn.pending)[1:]:
+                        if size >= _COALESCE_BYTES:
+                            break
+                        parts.append(nxt)
+                        size += len(nxt)
+                    payload = b"".join(parts)
+                sent = conn.sock.send(payload)
+                if sent == 0:
+                    break
+                conn.pending_bytes -= sent
+                conn.last_activity = time.monotonic()
+                while sent:
+                    head = conn.pending[0]
+                    headroom = len(head) - conn.head_sent
+                    if sent >= headroom:
+                        conn.pending.popleft()
+                        conn.head_sent = 0
+                        self.inflight -= 1
+                        sent -= headroom
+                    else:
+                        conn.head_sent += sent
+                        sent = 0
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._close_conn(conn)
+            return
+        wants_write = bool(conn.pending)
+        if wants_write != conn.wants_write:
+            conn.wants_write = wants_write
+            events = selectors.EVENT_READ
+            if wants_write:
+                events |= selectors.EVENT_WRITE
+            try:
+                self.selector.modify(conn.sock, events, conn)
+            except (KeyError, ValueError):
+                pass
+
+
+class ReactorDSPServer:
+    """Serves one DSP over TCP from ``loops`` selector event loops.
+
+    Same wire protocol, same :attr:`address` /
+    :attr:`connections` / ``close()`` surface as the threaded
+    :class:`~repro.dsp.remote.DSPSocketServer`, so
+    :class:`~repro.dsp.remote.RemoteDSP` and ``Community.attach`` work
+    against either.  Differences that matter under load:
+
+    * connections are multiplexed, not threaded -- hundreds of clients
+      cost ``loops`` threads total, and a reader that stops draining
+      its socket only grows *its own* write buffer;
+    * :class:`AdmissionPolicy` limits are enforced per request with
+      typed rejection frames;
+    * ``idle_timeout`` reaps connections with no traffic in either
+      direction (the read-idle deadline the threaded server enforces
+      with a socket timeout).
+    """
+
+    def __init__(
+        self,
+        dsp: DSPServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 128,
+        *,
+        loops: int = 1,
+        admission: AdmissionPolicy | None = None,
+        idle_timeout: float | None = None,
+    ) -> None:
+        if loops < 1:
+            raise ValueError("a reactor needs at least one loop")
+        self.dsp = dsp
+        self.store: DSPStore = dsp.store
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.idle_timeout = idle_timeout
+        self._listener = socket.create_server(
+            (host, port), backlog=backlog
+        )
+        self._listener.setblocking(False)
+        bound = self._listener.getsockname()
+        self.address: tuple[str, int] = (str(bound[0]), int(bound[1]))
+        #: Accept-ordered stats for every connection ever admitted;
+        #: appended only by loop 0, mutated only by the owning loop.
+        self.connections: list[ConnectionStats] = []
+        self.rejected_connections = 0
+        self._reaped = 0
+        self._closed = False
+        self._next_loop = 0
+        self._loops = [_LoopWorker(self, index) for index in range(loops)]
+        self._loops[0].selector.register(
+            self._listener, selectors.EVENT_READ, "listener"
+        )
+        for worker in self._loops:
+            worker.start()
+
+    # -- accept path (runs on loop 0) --------------------------------------
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if self.admission.sndbuf is not None:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_SNDBUF,
+                        self.admission.sndbuf,
+                    )
+            except OSError:
+                pass
+            open_now = self._open_connections()
+            if open_now >= self.admission.max_connections:
+                self._reject_connection(sock, open_now)
+                continue
+            stats = ConnectionStats(peer=f"{peer[0]}:{peer[1]}")
+            self.connections.append(stats)
+            worker = self._loops[self._next_loop]
+            self._next_loop = (self._next_loop + 1) % len(self._loops)
+            if worker is self._loops[0]:
+                worker._adopt(sock, stats)
+            else:
+                worker.hand_off(sock, stats)
+
+    def _reject_connection(self, sock: socket.socket, current: int) -> None:
+        """One typed rejection frame, best effort, then the door."""
+        self.rejected_connections += 1
+        rejection = ResourceExhausted(
+            "server connection capacity reached",
+            capacity=CapacityReport(
+                "connections", self.admission.max_connections, current
+            ),
+        )
+        try:
+            sock.send(frame(encode_error(rejection)))
+        except OSError:
+            pass
+        sock.close()
+
+    def _open_connections(self) -> int:
+        total = 0
+        for worker in self._loops:
+            total += len(worker.conns) + len(worker._inbox)
+        return total
+
+    def _inflight_total(self) -> int:
+        return sum(worker.inflight for worker in self._loops)
+
+    # -- aggregated accounting ----------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Frames received across every loop (including rejected ones)."""
+        return sum(worker.requests for worker in self._loops)
+
+    @property
+    def bytes_served(self) -> int:
+        return sum(worker.bytes_served for worker in self._loops)
+
+    @property
+    def chunks_served(self) -> int:
+        return sum(worker.chunks_served for worker in self._loops)
+
+    @property
+    def rejected_requests(self) -> int:
+        """Requests refused by admission control with a typed frame."""
+        return sum(worker.rejected_requests for worker in self._loops)
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests served straight from a loop's response cache."""
+        return sum(worker.cache_hits for worker in self._loops)
+
+    @property
+    def reaped_connections(self) -> int:
+        """Connections closed by the idle-timeout reaper."""
+        return self._reaped
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the loops and tear down every connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._listener.close()
+        for worker in self._loops:
+            worker.closing = True
+            worker.wake()
+        for worker in self._loops:
+            worker.join(timeout=5)
+
+    def __enter__(self) -> "ReactorDSPServer":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

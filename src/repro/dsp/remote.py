@@ -127,8 +127,15 @@ class DSPSocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         backlog: int = 16,
+        *,
+        idle_timeout: float | None = None,
     ) -> None:
         self.dsp = dsp
+        #: Seconds a connection may sit with no inbound traffic before
+        #: its thread reaps it -- an abandoned socket no longer pins a
+        #: thread forever.  ``None`` keeps the historical wait-forever.
+        self.idle_timeout = idle_timeout
+        self.reaped_connections = 0
         self._dispatch_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._listener = socket.create_server((host, port), backlog=backlog)
@@ -169,10 +176,22 @@ class DSPSocketServer:
     def _serve_connection(
         self, conn: socket.socket, stats: ConnectionStats
     ) -> None:
+        if self.idle_timeout is not None:
+            conn.settimeout(self.idle_timeout)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
         try:
             while True:
                 try:
                     body = read_frame(conn)
+                except TimeoutError:
+                    # Idle (or mid-frame stalled) past the deadline:
+                    # reap the connection instead of pinning the
+                    # thread forever.
+                    self.reaped_connections += 1
+                    return
                 except (TransportError, WireError, OSError):
                     return
                 if body is None:

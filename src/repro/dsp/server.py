@@ -15,6 +15,55 @@ from repro.smartcard.card import encode_header
 from repro.smartcard.resources import NetworkModel, SimClock
 from repro.xmlstream.events import Event
 
+# -- pure reads --------------------------------------------------------------
+#
+# The serving logic itself, free of accounting: DSPServer wraps these
+# with its SimClock/counter charges for the simulated deployments, the
+# reactor server (repro.dsp.reactor) serves them straight -- real
+# traffic is measured in wall time, not simulated network seconds.
+
+
+def fetch_header(store: DSPStore, doc_id: str) -> DocumentHeader:
+    return store.get(doc_id).container.header
+
+
+def fetch_chunk(store: DSPStore, doc_id: str, index: int) -> bytes:
+    return store.get(doc_id).container.chunks[index]
+
+
+def fetch_chunk_range(
+    store: DSPStore, doc_id: str, start: int, count: int
+) -> list[bytes]:
+    """``count`` consecutive chunks, clipped to the document.
+
+    Callers may over-ask near the end; asking entirely past the last
+    chunk is still an ``IndexError``, and a degenerate range a
+    ``ValueError`` -- the typed errors the wire codec carries.
+    """
+    if count < 1:
+        raise ValueError("chunk range must cover at least one chunk")
+    chunks = store.get(doc_id).container.chunks
+    if not 0 <= start < len(chunks):
+        raise IndexError(f"chunk range starts out of bounds: {start}")
+    return list(chunks[start:start + count])
+
+
+def fetch_rules(store: DSPStore, doc_id: str) -> tuple[int, list[bytes]]:
+    stored = store.get(doc_id)
+    return stored.rules_version, list(stored.rule_records)
+
+
+def fetch_wrapped_key(store: DSPStore, doc_id: str, recipient: str) -> bytes:
+    blob = store.get(doc_id).wrapped_keys.get(recipient)
+    if blob is None:
+        raise KeyNotGranted(
+            f"document {doc_id!r} has no key wrapped for "
+            f"recipient {recipient!r}",
+            doc_id=doc_id,
+            subject=recipient,
+        )
+    return blob
+
 
 class DSPServer:
     """Serves encrypted headers, chunks, rules and wrapped keys.
@@ -53,12 +102,12 @@ class DSPServer:
     # -- document service ------------------------------------------------
 
     def get_header(self, doc_id: str) -> DocumentHeader:
-        header = self.store.get(doc_id).container.header
+        header = fetch_header(self.store, doc_id)
         self._charge(len(encode_header(header)))
         return header
 
     def get_chunk(self, doc_id: str, index: int) -> bytes:
-        blob = self.store.get(doc_id).container.chunks[index]
+        blob = fetch_chunk(self.store, doc_id, index)
         self._charge(len(blob))
         self.chunks_served += 1
         self.served_ranges.append((doc_id, index, 1))
@@ -74,31 +123,19 @@ class DSPServer:
         clipped to the document, so callers may over-ask near the end;
         asking entirely past the last chunk is still an error.
         """
-        if count < 1:
-            raise ValueError("chunk range must cover at least one chunk")
-        chunks = self.store.get(doc_id).container.chunks
-        if not 0 <= start < len(chunks):
-            raise IndexError(f"chunk range starts out of bounds: {start}")
-        blobs = list(chunks[start:start + count])
+        blobs = fetch_chunk_range(self.store, doc_id, start, count)
         self._charge(sum(len(blob) for blob in blobs))
         self.chunks_served += len(blobs)
         self.served_ranges.append((doc_id, start, len(blobs)))
         return blobs
 
     def get_rules(self, doc_id: str) -> tuple[int, list[bytes]]:
-        stored = self.store.get(doc_id)
-        self._charge(sum(len(r) for r in stored.rule_records))
-        return stored.rules_version, list(stored.rule_records)
+        version, records = fetch_rules(self.store, doc_id)
+        self._charge(sum(len(r) for r in records))
+        return version, records
 
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
-        blob = self.store.get(doc_id).wrapped_keys.get(recipient)
-        if blob is None:
-            raise KeyNotGranted(
-                f"document {doc_id!r} has no key wrapped for "
-                f"recipient {recipient!r}",
-                doc_id=doc_id,
-                subject=recipient,
-            )
+        blob = fetch_wrapped_key(self.store, doc_id, recipient)
         self._charge(len(blob))
         return blob
 

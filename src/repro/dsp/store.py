@@ -23,6 +23,12 @@ class DSPStore:
         self.backend: StoreBackend = (
             backend if backend is not None else MemoryBackend()
         )
+        #: Bumped after every mutation -- a cheap cache-invalidation
+        #: signal for read-mostly servers (the reactor's per-loop
+        #: response cache keys on it).  Incremented *after* the backend
+        #: write completes, so data observed under generation ``g`` is
+        #: never newer than ``g`` says.
+        self.generation = 0
 
     def put_document(
         self,
@@ -43,6 +49,7 @@ class DSPStore:
         self.backend.put_document(
             container, keep_rules=keep_rules, keep_keys=keep_keys
         )
+        self.generation += 1
 
     def get(self, doc_id: str) -> StoredDocument:
         """The stored record; raises
@@ -53,9 +60,11 @@ class DSPStore:
         self, doc_id: str, records: list[bytes], version: int
     ) -> None:
         self.backend.put_rules(doc_id, list(records), version)
+        self.generation += 1
 
     def put_wrapped_key(self, doc_id: str, recipient: str, blob: bytes) -> None:
         self.backend.put_wrapped_key(doc_id, recipient, blob)
+        self.generation += 1
 
     def remove_wrapped_key(self, doc_id: str, recipient: str) -> bool:
         """Drop a recipient's wrapped key (key-level revocation).
@@ -64,7 +73,10 @@ class DSPStore:
         that already unlocked the document keeps its provisioned copy;
         durable revocation also updates the access rules.
         """
-        return self.backend.remove_wrapped_key(doc_id, recipient)
+        removed = self.backend.remove_wrapped_key(doc_id, recipient)
+        if removed:
+            self.generation += 1
+        return removed
 
     def document_ids(self) -> list[str]:
         return self.backend.document_ids()

@@ -28,7 +28,13 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.crypto.container import DocumentHeader
-from repro.errors import KeyNotGranted, TransportError, UnknownDocument
+from repro.errors import (
+    CapacityReport,
+    KeyNotGranted,
+    ResourceExhausted,
+    TransportError,
+    UnknownDocument,
+)
 from repro.smartcard.card import decode_header, encode_header
 
 __all__ = [
@@ -69,6 +75,7 @@ ERR_KEY_NOT_GRANTED = 0x02
 ERR_OUT_OF_RANGE = 0x03
 ERR_BAD_REQUEST = 0x04
 ERR_SERVER = 0x05
+ERR_RESOURCE_EXHAUSTED = 0x06
 
 
 class WireError(ValueError):
@@ -266,6 +273,12 @@ def encode_error(exc: BaseException) -> bytes:
     and argument errors map to their builtin types; anything else
     degrades to a generic server error (surfaced client-side as
     :class:`~repro.errors.TransportError`).
+
+    :class:`~repro.errors.ResourceExhausted` -- the admission-control
+    rejection -- additionally carries its
+    :class:`~repro.errors.CapacityReport` (scope, limit, current), so
+    a rejected client learns *which* ceiling it hit and where the
+    server stood, the 429-with-capacity-report contract.
     """
     doc_id = getattr(exc, "doc_id", None) or ""
     subject = getattr(exc, "subject", None) or ""
@@ -273,6 +286,17 @@ def encode_error(exc: BaseException) -> bytes:
         code = ERR_UNKNOWN_DOCUMENT
     elif isinstance(exc, KeyNotGranted):
         code = ERR_KEY_NOT_GRANTED
+    elif isinstance(exc, ResourceExhausted):
+        report = exc.capacity or CapacityReport("", 0, 0)
+        return (
+            bytes([OP_ERROR, ERR_RESOURCE_EXHAUSTED])
+            + _pack_str(str(exc))
+            + _pack_str(doc_id)
+            + _pack_str(subject)
+            + _pack_str(report.scope)
+            + _U32.pack(report.limit)
+            + _U32.pack(report.current)
+        )
     elif isinstance(exc, IndexError):
         code = ERR_OUT_OF_RANGE
     elif isinstance(exc, ValueError):
@@ -292,6 +316,17 @@ def _raise_error(reader: _Reader) -> None:
     message = reader.string()
     doc_id = reader.string() or None
     subject = reader.string() or None
+    if code == ERR_RESOURCE_EXHAUSTED:
+        scope = reader.string()
+        limit = reader.u32()
+        current = reader.u32()
+        reader.finish()
+        raise ResourceExhausted(
+            message,
+            doc_id=doc_id,
+            subject=subject,
+            capacity=CapacityReport(scope, limit, current) if scope else None,
+        )
     reader.finish()
     if code == ERR_UNKNOWN_DOCUMENT:
         raise UnknownDocument(message, doc_id=doc_id)

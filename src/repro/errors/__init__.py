@@ -28,8 +28,11 @@ parsing the message.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 __all__ = [
     "AccessDenied",
+    "CapacityReport",
     "DocumentLocked",
     "KeyNotGranted",
     "PolicyError",
@@ -111,5 +114,39 @@ class TransportError(ReproError):
     """The DSP/terminal/card transport failed mid-session."""
 
 
+@dataclass(frozen=True, slots=True)
+class CapacityReport:
+    """Which capacity limit a server hit, and where it stood.
+
+    The 429-style contract of the DSP's admission control: a rejected
+    request names the exhausted dimension (``scope``), the configured
+    ceiling (``limit``) and the load at rejection time (``current``),
+    so a well-behaved client can back off instead of retrying blind.
+    Scopes the reactor server emits: ``"connections"``,
+    ``"client-inflight"``, ``"client-backlog"``, ``"server-inflight"``.
+    """
+
+    scope: str
+    limit: int
+    current: int
+
+
 class ResourceExhausted(ReproError):
-    """A modeled resource limit (secure RAM, quota) was exceeded."""
+    """A modeled resource limit (secure RAM, quota) was exceeded.
+
+    When the limit is a *serving capacity* (the DSP's admission
+    control rather than the card's secure RAM), ``capacity`` carries
+    the :class:`CapacityReport` describing which ceiling was hit; it
+    survives the wire codec intact.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        doc_id: str | None = None,
+        subject: str | None = None,
+        capacity: CapacityReport | None = None,
+    ) -> None:
+        super().__init__(message, doc_id=doc_id, subject=subject)
+        self.capacity = capacity

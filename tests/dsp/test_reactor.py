@@ -1,0 +1,357 @@
+"""The event-loop DSP server: concurrency, admission control, hostility.
+
+The reactor must serve a concurrent fleet byte-identically to the
+in-process path, reject over-capacity traffic with typed
+``ResourceExhausted`` frames whose capacity report survives the wire,
+and shrug off hostile clients -- slow-loris partial frames, mid-frame
+disconnects, garbage -- without wedging the loop or leaking buffers.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.community import Community
+from repro.dsp import RemoteDSP
+from repro.dsp.reactor import AdmissionPolicy, ReactorDSPServer
+from repro.dsp.remote import DSPSocketServer, read_frame, write_frame
+from repro.dsp.wire import (
+    GetChunkRange,
+    GetHeader,
+    decode_response,
+    encode_request,
+)
+from repro.errors import PolicyError, ResourceExhausted
+from repro.terminal.transfer import TransferPolicy
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+DOC_ID = "hospital"
+READERS = ("doctor", "accountant")
+
+
+def _tiny_buffer_connection(address, timeout=30.0):
+    """A client socket whose receive buffer is clamped tiny, so an
+    unread response stream back-pressures the server deterministically
+    instead of vanishing into kernel buffers."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+    sock.settimeout(timeout)
+    sock.connect(address)
+    return sock
+
+
+@pytest.fixture
+def published_community():
+    community = Community()
+    owner = community.enroll("owner")
+    readers = [community.enroll(name) for name in READERS]
+    events = list(tree_to_events(hospital(n_patients=3)))
+    owner.publish(
+        events, hospital_rules(), to=readers, doc_id=DOC_ID, chunk_size=64
+    )
+    yield community
+    community.close()
+
+
+def _reference_views(community):
+    views = {}
+    for name in READERS:
+        with community.member(name).open(DOC_ID) as session:
+            views[name] = session.query().text()
+    return views
+
+
+def _pull_fleet(server, reference, fleet_size):
+    results = {}
+    errors = []
+
+    def pull(slot, reader, transfer):
+        try:
+            with RemoteDSP.connect(server.address) as client:
+                attached = Community.attach(client)
+                member = attached.enroll(reader)
+                document = attached.adopt(DOC_ID, "owner")
+                with member.open(document, transfer=transfer) as session:
+                    results[slot] = (reader, session.query().text())
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append((slot, exc))
+
+    threads = [
+        threading.Thread(
+            target=pull,
+            args=(
+                slot,
+                READERS[slot % len(READERS)],
+                TransferPolicy.windowed(4) if slot % 2 else None,
+            ),
+        )
+        for slot in range(fleet_size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+    assert len(results) == fleet_size
+    for reader, view in results.values():
+        assert view == reference[reader]
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("loops", [1, 3])
+def test_concurrent_fleet_byte_identical(published_community, loops):
+    reference = _reference_views(published_community)
+    with published_community.serve(loops=loops) as server:
+        assert isinstance(server, ReactorDSPServer)
+        _pull_fleet(server, reference, fleet_size=16)
+        assert len(server.connections) == 16
+        for stats in server.connections:
+            assert stats.requests > 0 and stats.errors == 0
+            assert stats.bytes_in > 0 and stats.bytes_out > 0
+        assert server.requests == sum(s.requests for s in server.connections)
+        assert server.chunks_served > 0
+        assert server.rejected_requests == 0
+
+
+def test_slow_reader_does_not_stall_the_fleet(published_community):
+    """A connection that stops reading only delays itself."""
+    reference = _reference_views(published_community)
+    with published_community.serve() as server:
+        slow = socket.create_connection(server.address, timeout=10)
+        # Ask for work, then never read the response.
+        write_frame(slow, encode_request(GetHeader(DOC_ID)))
+        try:
+            _pull_fleet(server, reference, fleet_size=8)
+        finally:
+            slow.close()
+
+
+def test_server_close_marks_connections_closed(published_community):
+    reference = _reference_views(published_community)
+    server = published_community.serve()
+    _pull_fleet(server, reference, fleet_size=4)
+    server.close()
+    assert all(not stats.open for stats in server.connections)
+    server.close()  # idempotent
+
+
+def test_serve_threaded_baseline_choice(published_community):
+    reference = _reference_views(published_community)
+    with published_community.serve(server="threaded") as server:
+        assert isinstance(server, DSPSocketServer)
+        _pull_fleet(server, reference, fleet_size=4)
+    with pytest.raises(PolicyError):
+        published_community.serve(server="warp-drive")
+    with pytest.raises(PolicyError):
+        published_community.serve(server="threaded", loops=2)
+
+
+# -- admission control -------------------------------------------------------
+
+
+def test_connection_capacity_rejected_with_typed_frame(published_community):
+    policy = AdmissionPolicy(max_connections=2)
+    with published_community.serve(admission=policy) as server:
+        keep = [RemoteDSP.connect(server.address) for _ in range(2)]
+        for client in keep:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+        over = RemoteDSP.connect(server.address)
+        with pytest.raises(ResourceExhausted) as info:
+            over.get_header(DOC_ID)
+        report = info.value.capacity
+        assert report is not None
+        assert report.scope == "connections"
+        assert report.limit == 2
+        assert report.current >= 2
+        assert server.rejected_connections == 1
+        # The admitted clients keep full service.
+        for client in keep:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+            client.close()
+        over.close()
+
+
+def test_client_inflight_cap_rejects_pipelined_flood(published_community):
+    """Pipelining far ahead of your own reading earns typed rejections.
+
+    In-flight responses only accumulate once the kernel's socket
+    buffers back-pressure, so both ends are clamped tiny (the policy's
+    ``sndbuf`` server-side, ``SO_RCVBUF`` client-side) and the flood
+    asks for whole-document chunk ranges, kilobytes each, reading
+    nothing until the end.
+    """
+    policy = AdmissionPolicy(client_inflight=4, sndbuf=16384)
+    with published_community.serve(admission=policy) as server:
+        sock = _tiny_buffer_connection(server.address)
+        flood = 600
+        probe = GetChunkRange(DOC_ID, 0, 999)
+        request = encode_request(probe)
+        for _ in range(flood):
+            write_frame(sock, request)
+        outcomes = {"ok": 0, "rejected": 0}
+        reports = []
+        for _ in range(flood):
+            body = read_frame(sock)
+            assert body is not None
+            try:
+                decode_response(probe, body)
+                outcomes["ok"] += 1
+            except ResourceExhausted as exc:
+                outcomes["rejected"] += 1
+                reports.append(exc.capacity)
+        sock.close()
+        # Every request was answered -- some served, some typed
+        # rejections, none silently dropped.
+        assert outcomes["ok"] >= 1
+        assert outcomes["rejected"] >= 1
+        assert outcomes["ok"] + outcomes["rejected"] == flood
+        for report in reports:
+            assert report is not None
+            assert report.scope == "client-inflight"
+            assert report.limit == 4
+            assert report.current >= 4
+        assert server.rejected_requests == outcomes["rejected"]
+        # The loop survived the flood: fresh clients get full service.
+        with RemoteDSP.connect(server.address) as client:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+
+
+def test_backlog_cap_rejects_then_drops_slow_reader(published_community):
+    policy = AdmissionPolicy(
+        client_backlog=65536, client_inflight=10_000, sndbuf=16384
+    )
+    with published_community.serve(admission=policy) as server:
+        sock = _tiny_buffer_connection(server.address, timeout=10)
+        request = encode_request(GetChunkRange(DOC_ID, 0, 999))
+        # Never read: the backlog fills, rejections start, and past the
+        # hard bound (2x) the server hangs up rather than buffer more.
+        disconnected = False
+        try:
+            for _ in range(5000):
+                write_frame(sock, request)
+        except OSError:
+            disconnected = True
+        deadline = time.monotonic() + 10
+        while not disconnected and time.monotonic() < deadline:
+            try:
+                write_frame(sock, request)
+            except OSError:
+                disconnected = True
+            time.sleep(0.01)
+        assert disconnected
+        assert server.rejected_requests > 0
+        sock.close()
+        # The loop survived: a fresh client gets full service.
+        with RemoteDSP.connect(server.address) as client:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+
+
+def test_remote_dsp_survives_rejection(published_community):
+    """A typed rejection is a clean response: the connection stays usable."""
+    policy = AdmissionPolicy(client_inflight=1)
+    with published_community.serve(admission=policy) as server:
+        with RemoteDSP.connect(server.address) as client:
+            # Request-response clients never pipeline, so they are
+            # admitted even at inflight=1 -- the floor contract.
+            for _ in range(4):
+                assert client.get_header(DOC_ID).doc_id == DOC_ID
+
+
+# -- hostile clients ---------------------------------------------------------
+
+
+def test_slow_loris_partial_frame_never_wedges(published_community):
+    reference = _reference_views(published_community)
+    with published_community.serve() as server:
+        loris = socket.create_connection(server.address, timeout=10)
+        body = encode_request(GetHeader(DOC_ID))
+        framed = len(body).to_bytes(4, "big") + body
+        # Drip two bytes of the length prefix, then stall.
+        loris.sendall(bytes(framed[:2]))
+        time.sleep(0.1)
+        # Everyone else is served while the loris dangles.
+        _pull_fleet(server, reference, fleet_size=4)
+        # Completing the frame later still gets a correct answer.
+        loris.sendall(bytes(framed[2:]))
+        response = read_frame(loris)
+        assert response is not None
+        header = decode_response(GetHeader(DOC_ID), response)
+        assert header.doc_id == DOC_ID
+        loris.close()
+
+
+def test_mid_frame_disconnect_leaks_nothing(published_community):
+    with published_community.serve() as server:
+        for _ in range(8):
+            sock = socket.create_connection(server.address, timeout=10)
+            # Announce 100 bytes, deliver 10, vanish.
+            sock.sendall((100).to_bytes(4, "big") + b"x" * 10)
+            sock.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if all(not s.open for s in server.connections):
+                break
+            time.sleep(0.02)
+        assert all(not stats.open for stats in server.connections)
+        # Per-connection buffers went with their connections.
+        assert server._open_connections() == 0
+        with RemoteDSP.connect(server.address) as client:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+
+
+def test_garbage_frames_answered_or_dropped_never_wedged(published_community):
+    with published_community.serve() as server:
+        # Garbage body: typed bad-request error frame, connection lives.
+        sock = socket.create_connection(server.address, timeout=10)
+        write_frame(sock, b"\xffnot-a-request")
+        body = read_frame(sock)
+        assert body is not None
+        with pytest.raises(ValueError):
+            decode_response(GetHeader(DOC_ID), body)
+        write_frame(sock, encode_request(GetHeader(DOC_ID)))
+        ok = read_frame(sock)
+        assert decode_response(GetHeader(DOC_ID), ok).doc_id == DOC_ID
+        sock.close()
+        # Hostile length prefix: the connection is dropped outright.
+        evil = socket.create_connection(server.address, timeout=10)
+        evil.sendall((1 << 30).to_bytes(4, "big"))
+        assert evil.recv(4096) == b""  # EOF, not a hang
+        evil.close()
+        with RemoteDSP.connect(server.address) as client:
+            assert client.get_header(DOC_ID).doc_id == DOC_ID
+
+
+# -- idle timeout ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("flavor", ["reactor", "threaded"])
+def test_idle_connections_are_reaped(published_community, flavor):
+    with published_community.serve(
+        server=flavor, idle_timeout=0.5
+    ) as server:
+        idle = socket.create_connection(server.address, timeout=10)
+        # Poll the idle socket in short slices so the busy client's
+        # traffic stays genuinely steady (well under the deadline).
+        idle.settimeout(0.1)
+        busy = RemoteDSP.connect(server.address)
+        deadline = time.monotonic() + 10
+        reaped = False
+        while time.monotonic() < deadline:
+            assert busy.get_header(DOC_ID).doc_id == DOC_ID
+            try:
+                if idle.recv(4096) == b"":
+                    reaped = True
+                    break
+            except TimeoutError:
+                continue
+        assert reaped
+        assert server.reaped_connections >= 1
+        assert busy.get_header(DOC_ID).doc_id == DOC_ID
+        busy.close()
+        idle.close()

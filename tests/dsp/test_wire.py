@@ -14,7 +14,13 @@ from hypothesis import strategies as st
 
 from repro.crypto.container import DocumentHeader
 from repro.dsp import wire
-from repro.errors import KeyNotGranted, TransportError, UnknownDocument
+from repro.errors import (
+    CapacityReport,
+    KeyNotGranted,
+    ResourceExhausted,
+    TransportError,
+    UnknownDocument,
+)
 
 HEADER = DocumentHeader(
     doc_id="doc-1",
@@ -79,6 +85,21 @@ GOLDEN_ERRORS = [
         "0000002c7f0300246368756e6b2072616e676520737461727473206f7574206"
         "f6620626f756e64733a20393900000000",
     ),
+    (
+        # The admission-control rejection: message, empty doc/subject,
+        # then the capacity report -- scope string, limit u32,
+        # current u32.
+        ResourceExhausted(
+            "too busy", capacity=CapacityReport("client-inflight", 32, 41)
+        ),
+        "000000297f060008746f6f206275737900000000000f636c69656e742d696e6"
+        "66c696768740000002000000029",
+    ),
+    (
+        # Without a report the scope is empty and the numbers zero.
+        ResourceExhausted("stop"),
+        "000000167f06000473746f700000000000000000000000000000",
+    ),
 ]
 
 
@@ -135,6 +156,26 @@ def test_error_frames_reraise_typed():
         wire.decode_response(
             request, wire.encode_error(RuntimeError("boom"))
         )
+
+
+def test_resource_exhausted_capacity_survives_the_wire():
+    request = wire.GetHeader("doc-1")
+    body = wire.encode_error(
+        ResourceExhausted(
+            "too many in flight",
+            capacity=CapacityReport("server-inflight", 4096, 4100),
+        )
+    )
+    with pytest.raises(ResourceExhausted) as info:
+        wire.decode_response(request, body)
+    report = info.value.capacity
+    assert report == CapacityReport("server-inflight", 4096, 4100)
+    # A report-less rejection decodes to capacity=None, not a zeroed
+    # report pretending to carry numbers.
+    body = wire.encode_error(ResourceExhausted("stop"))
+    with pytest.raises(ResourceExhausted) as info:
+        wire.decode_response(request, body)
+    assert info.value.capacity is None
 
 
 def test_unexpected_server_error_degrades_to_transport():
@@ -237,6 +278,7 @@ def test_decoder_total_on_garbage(noise):
             wire.WireError,
             UnknownDocument,
             KeyNotGranted,
+            ResourceExhausted,
             TransportError,
             IndexError,
             ValueError,
