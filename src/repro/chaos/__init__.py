@@ -1,0 +1,55 @@
+"""Chaos engine: seeded fault injection at every trust seam.
+
+The package has three layers:
+
+* :mod:`repro.chaos.plan` -- deterministic, seedable
+  :class:`FaultPlan` schedules (*when* to misbehave);
+* :mod:`repro.chaos.faults` -- injection wrappers for the DSP disk,
+  the client transport, the raw socket, and the card boundary
+  (*how* to misbehave);
+* :mod:`repro.chaos.scenarios` -- hostile-world scenarios composing
+  faults with live workloads, and the deadline-bounded
+  (scenario x fault x seed) matrix runner.
+
+The invariant the whole package enforces: every injected failure
+surfaces as its documented :mod:`repro.errors` type, any delivered
+view is byte-identical to a fault-free golden, and nothing ever hangs.
+"""
+
+from repro.chaos.faults import (
+    FaultyBackend,
+    FaultyCard,
+    FaultyClient,
+    FaultySocket,
+    InjectedFault,
+    crash_reopen,
+)
+from repro.chaos.plan import FaultEvent, FaultPlan, FaultRule
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    build_world,
+    golden_views,
+    run_cell,
+    run_matrix,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyBackend",
+    "FaultyCard",
+    "FaultyClient",
+    "FaultySocket",
+    "InjectedFault",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "build_world",
+    "crash_reopen",
+    "golden_views",
+    "run_cell",
+    "run_matrix",
+]

@@ -1,0 +1,160 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is the single source of truth for *when* a chaos
+wrapper misbehaves.  Wrappers (:mod:`repro.chaos.faults`) never roll
+dice themselves: at every interception point they ask
+``plan.decide(site)`` and either pass the operation through or inject
+the fault the plan returned.  Two properties make the engine usable as
+a test harness rather than a flake generator:
+
+* **Determinism** -- the decision for the ``n``-th operation at a
+  site depends only on ``(seed, site, n, rule)``, never on wall time,
+  thread interleaving, or how many *other* sites fired first.  The
+  same seed replays the same faults, so every red matrix cell is
+  reproducible from its ``(scenario, fault, seed)`` coordinates.
+* **Observability** -- every decision (fired or passed) is appended to
+  :attr:`FaultPlan.log`, so a failing scenario prints exactly which
+  operations were hit (see ``examples/chaos_demo.py``).
+
+Rules target sites by :mod:`fnmatch` pattern (``"backend.*"``,
+``"socket.recv"``); they fire at explicit operation indices (``at=``),
+with a seeded probability, or on every call (``probability=1.0``),
+optionally capped by ``limit``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultRule"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One injection rule: *where*, *what*, and *when* to misbehave.
+
+    ``site`` is an :mod:`fnmatch` pattern over wrapper site names
+    (``"backend.get"``, ``"client.*"``, ``"socket.recv"``,
+    ``"card.process"``).  ``kind`` names the fault the owning wrapper
+    understands (documented on each wrapper).  Triggering: ``at``
+    lists explicit zero-based operation indices at that site;
+    otherwise the rule fires with ``probability`` (seeded,
+    deterministic per operation).  ``limit`` caps total firings;
+    ``arg`` carries a kind-specific parameter.
+    """
+
+    site: str
+    kind: str
+    at: tuple[int, ...] = ()
+    probability: float = 0.0
+    limit: int | None = None
+    arg: object = None
+
+    def describe(self) -> str:
+        when = (
+            f"at ops {list(self.at)}"
+            if self.at
+            else f"p={self.probability:g}"
+        )
+        cap = f" limit={self.limit}" if self.limit is not None else ""
+        return f"{self.site}: {self.kind} ({when}{cap})"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One recorded decision: operation ``index`` at ``site``.
+
+    ``kind`` is ``None`` when the operation passed through clean.
+    """
+
+    site: str
+    index: int
+    kind: str | None
+
+    def __str__(self) -> str:
+        verdict = self.kind if self.kind is not None else "ok"
+        return f"{self.site}#{self.index}: {verdict}"
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A seeded schedule of faults shared by every wrapper in a scenario.
+
+    One plan typically spans several wrappers (a faulty backend *and*
+    a faulty socket), so a scenario's whole hostile world replays from
+    one seed.  Thread-safety note: decisions mutate per-site counters;
+    scenarios that drive wrappers from several threads get per-thread
+    determinism only if each thread owns distinct sites (the shipped
+    scenarios are built that way).
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    log: list[FaultEvent] = field(default_factory=list)
+    _counters: dict[str, int] = field(default_factory=dict)
+    _fired: dict[int, int] = field(default_factory=dict)
+
+    def __init__(
+        self, seed: int = 0, rules: "tuple[FaultRule, ...] | list[FaultRule]" = ()
+    ) -> None:
+        self.seed = seed
+        self.rules = tuple(rules)
+        self.log = []
+        self._counters = {}
+        self._fired = {}
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, site: str) -> FaultRule | None:
+        """The fault for this operation at ``site``, or ``None``.
+
+        Advances the site's operation counter and records the decision
+        in :attr:`log` either way.
+        """
+        index = self._counters.get(site, 0)
+        self._counters[site] = index + 1
+        chosen: FaultRule | None = None
+        for slot, rule in enumerate(self.rules):
+            if not fnmatch.fnmatchcase(site, rule.site):
+                continue
+            if rule.limit is not None and self._fired.get(slot, 0) >= rule.limit:
+                continue
+            if rule.at:
+                fire = index in rule.at
+            else:
+                # Keyed RNG: the draw depends only on the coordinates,
+                # never on call interleaving across sites or rules.
+                draw = random.Random(
+                    f"{self.seed}|{site}|{index}|{slot}"
+                ).random()
+                fire = draw < rule.probability
+            if fire:
+                self._fired[slot] = self._fired.get(slot, 0) + 1
+                chosen = rule
+                break
+        self.log.append(FaultEvent(site, index, chosen.kind if chosen else None))
+        return chosen
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def fired(self) -> list[FaultEvent]:
+        """Only the decisions that injected a fault."""
+        return [event for event in self.log if event.kind is not None]
+
+    def operations(self, site: str) -> int:
+        """How many operations ``site`` has seen."""
+        return self._counters.get(site, 0)
+
+    def describe(self) -> str:
+        """A readable multi-line fault log (rules, then fired events)."""
+        lines = [f"FaultPlan(seed={self.seed})"]
+        for rule in self.rules:
+            lines.append(f"  rule {rule.describe()}")
+        for event in self.fired:
+            lines.append(f"  hit  {event}")
+        if not self.fired:
+            lines.append("  hit  (none)")
+        return "\n".join(lines)

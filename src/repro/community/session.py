@@ -69,6 +69,7 @@ class ViewStream:
         self._outcome = outcome
         self._cached: list[ViewPiece] = []
         self._finished = False
+        self._error: BaseException | None = None
 
     # -- iteration --------------------------------------------------------
 
@@ -89,19 +90,58 @@ class ViewStream:
         except StopIteration:
             self._finished = True
             return None
+        except BaseException as exc:
+            # A failed pull must not leave a half-driven generator
+            # around: record the failure, close the generator (its
+            # ``finally`` blocks run now, not at GC time), and refuse
+            # to ever deliver the partial view.
+            self._error = exc
+            self._finished = True
+            self._close_live()
+            raise
         self._cached.append(piece)
         return piece
 
+    def _close_live(self) -> None:
+        close = getattr(self._live, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:
+                pass
+
+    def abort(self) -> None:
+        """Abandon the stream without raising (idempotent).
+
+        Closes the underlying generator so the card pass unwinds now;
+        materializing a stream that failed still re-raises its error.
+        """
+        if not self._finished:
+            self._finished = True
+            self._close_live()
+
     def finish(self) -> "ViewStream":
-        """Drain the stream to completion (idempotent)."""
+        """Drain the stream to completion (idempotent).
+
+        A stream that failed mid-pull re-raises its recorded error on
+        every ``finish`` (and therefore on every materializer): a
+        partial view is never delivered as if it were the document.
+        """
         while not self._finished:
             self._advance()
+        if self._error is not None:
+            raise self._error
         return self
 
     @property
     def closed(self) -> bool:
         """Whether the underlying session pass has completed."""
         return self._finished
+
+    @property
+    def error(self) -> BaseException | None:
+        """The failure that ended the stream, if any."""
+        return self._error
 
     # -- materializers ----------------------------------------------------
 
@@ -196,12 +236,20 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Finish any in-flight stream (idempotent)."""
+        """Finish any in-flight stream (idempotent).
+
+        A stream that already failed (or fails while draining) is
+        aborted rather than re-raised -- its consumer saw the error
+        when it happened; teardown must not resurrect it.
+        """
         if self._closed:
             return
         self._closed = True
         for stream in self._streams:
-            stream.finish()
+            try:
+                stream.finish()
+            except Exception:
+                stream.abort()
 
     # -- queries ----------------------------------------------------------
 
@@ -226,8 +274,15 @@ class Session:
             )
         # One card runs one evaluation at a time: a still-streaming
         # earlier view must complete before the next BEGIN_SESSION.
+        # An earlier stream that failed -- or fails while being
+        # drained here -- is aborted instead of poisoning this query;
+        # the card resets its session state on the next BEGIN anyway.
         for stream in self._streams:
-            stream.finish()
+            try:
+                stream.finish()
+            except Exception:
+                stream.abort()
+        self._streams = [s for s in self._streams if not s.closed]
         outcome = QueryOutcome(xml="")
         pieces = self.member.terminal.proxy.stream_query(
             self.document.doc_id,

@@ -35,7 +35,13 @@ from repro.dsp.backends import (
 )
 from repro.dsp.client import DSPClient, LocalDSP
 from repro.dsp.reactor import AdmissionPolicy, ReactorDSPServer
-from repro.dsp.remote import ConnectionStats, DSPSocketServer, RemoteDSP
+from repro.dsp.remote import (
+    ConnectionStats,
+    DSPSocketServer,
+    GenerationChanged,
+    RemoteDSP,
+    RetryPolicy,
+)
 from repro.dsp.server import DSPServer, TrustedFilterService
 from repro.dsp.store import DSPStore
 
@@ -46,10 +52,12 @@ __all__ = [
     "DSPServer",
     "DSPSocketServer",
     "DSPStore",
+    "GenerationChanged",
     "LocalDSP",
     "MemoryBackend",
     "ReactorDSPServer",
     "RemoteDSP",
+    "RetryPolicy",
     "ShardedBackend",
     "SQLiteBackend",
     "StoreBackend",

@@ -661,6 +661,64 @@ class ReactorDSPServer:
         """Connections closed by the idle-timeout reaper."""
         return self._reaped
 
+    @property
+    def cache_entries(self) -> int:
+        """Entries across every loop's response cache."""
+        return sum(len(worker._cache) for worker in self._loops)
+
+    def validate_caches(self) -> list[str]:
+        """Audit every loop's response cache; returns problem strings.
+
+        An empty list means every cached entry is a *complete*,
+        well-framed success response whose key decodes back to a
+        request of the matching opcode.  The cache is filled before a
+        response ever touches a socket and holds immutable ``bytes``,
+        so no client-side event -- mid-frame disconnect during a
+        coalesced write run included -- may ever tear an entry; the
+        chaos suite forces exactly those disconnects and asserts this
+        stays empty.  Snapshots loop-owned state without locks, so run
+        it on a quiesced or steady server.
+        """
+        problems: list[str] = []
+        for worker in self._loops:
+            label = f"loop {worker.index}"
+            for body, (framed, chunks) in list(worker._cache.items()):
+                if len(framed) < 5:
+                    problems.append(
+                        f"{label}: entry smaller than a frame header "
+                        f"({len(framed)} B)"
+                    )
+                    continue
+                (length,) = _U32.unpack_from(framed, 0)
+                if length != len(framed) - 4:
+                    problems.append(
+                        f"{label}: torn entry -- prefix says {length} B, "
+                        f"{len(framed) - 4} B stored"
+                    )
+                    continue
+                op = framed[4]
+                if op == 0x7F or not op & 0x80:
+                    problems.append(
+                        f"{label}: non-success opcode 0x{op:02x} cached"
+                    )
+                    continue
+                try:
+                    decode_request(body)
+                except WireError:
+                    problems.append(
+                        f"{label}: cache key is not a decodable request"
+                    )
+                    continue
+                if (op & 0x7F) != body[0]:
+                    problems.append(
+                        f"{label}: response opcode 0x{op & 0x7F:02x} does "
+                        f"not answer request opcode 0x{body[0]:02x}"
+                    )
+                    continue
+                if chunks < 0:
+                    problems.append(f"{label}: negative chunk count")
+        return problems
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

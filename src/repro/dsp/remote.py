@@ -28,11 +28,14 @@ facade-level version)::
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
 import threading
+import time
 from dataclasses import dataclass
 from types import TracebackType
+from typing import Callable, Protocol
 
 from repro.crypto.container import DocumentHeader
 from repro.dsp.server import DSPServer
@@ -52,15 +55,39 @@ from repro.dsp.wire import (
     encode_response,
     frame,
 )
-from repro.errors import TransportError
+from repro.errors import ResourceExhausted, TransportError
 from repro.smartcard.resources import SimClock
 
-__all__ = ["ConnectionStats", "DSPSocketServer", "RemoteDSP"]
+__all__ = [
+    "ConnectionStats",
+    "DSPSocketServer",
+    "GenerationChanged",
+    "RemoteDSP",
+    "RetryPolicy",
+    "SocketLike",
+]
 
 _U32 = struct.Struct(">I")
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+class SocketLike(Protocol):
+    """The slice of the socket surface the DSP client actually uses.
+
+    ``socket.socket`` satisfies it structurally; so does a chaos
+    wrapper (``repro.chaos.faults.FaultySocket``) injected through
+    ``RemoteDSP.connect(..., socket_wrapper=...)``.
+    """
+
+    def sendall(self, data: bytes, /) -> None: ...
+
+    def recv(self, bufsize: int, /) -> bytes: ...
+
+    def settimeout(self, value: float | None, /) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def _recv_exact(sock: SocketLike, count: int) -> bytes | None:
     """``count`` bytes from the socket, or ``None`` on a clean EOF.
 
     A connection that dies mid-message raises
@@ -80,7 +107,7 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(parts)
 
 
-def read_frame(sock: socket.socket) -> bytes | None:
+def read_frame(sock: SocketLike) -> bytes | None:
     """One length-prefixed frame body, or ``None`` on orderly EOF."""
     prefix = _recv_exact(sock, 4)
     if prefix is None:
@@ -94,8 +121,61 @@ def read_frame(sock: socket.socket) -> bytes | None:
     return body
 
 
-def write_frame(sock: socket.socket, body: bytes) -> None:
+def write_frame(sock: SocketLike, body: bytes) -> None:
     sock.sendall(frame(body))
+
+
+class GenerationChanged(TransportError):
+    """A retried pull crossed a republish: the document moved versions.
+
+    Raised (instead of silently resuming) when a reconnect-and-resume
+    discovers the stored document's version is no longer the one the
+    in-flight pull started under.  Splicing chunks from two versions
+    would be caught by the card's chunk MACs anyway -- this surfaces
+    the situation *before* tainted bytes reach the card, so the caller
+    can simply restart the pull against the new version.  Never
+    retried.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + jitter for ``RemoteDSP``.
+
+    ``attempts`` caps total tries per request (first try included).
+    The ``n``-th retry sleeps ``backoff * multiplier**n``, shrunk by up
+    to ``jitter`` (a 0..1 fraction) so a fleet of readers retrying the
+    same hiccup does not stampede in phase; ``seed`` makes the jitter
+    deterministic for tests.  ``deadline`` bounds the *whole* request
+    -- connect, retries and socket waits included -- and overruns
+    surface as :class:`~repro.errors.TransportError`, never a silent
+    hang.
+
+    What retries: transport failures (the client reconnects first) and
+    :class:`~repro.errors.ResourceExhausted` rejection frames (the
+    admission-control 429 -- backoff only, the connection is fine).
+    What never retries: every other typed error
+    (``UnknownDocument``, ``KeyNotGranted``, ...) -- those are
+    answers, not failures -- and :class:`GenerationChanged`.
+    """
+
+    attempts: int = 4
+    backoff: float = 0.02
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = 10.0
+    seed: int | None = None
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (zero-based)."""
+        base = self.backoff * (self.multiplier ** retry_index)
+        if self.jitter <= 0:
+            return base
+        if self.seed is None:
+            fraction = random.random()
+        else:
+            fraction = random.Random(f"retry|{self.seed}|{retry_index}").random()
+        return base * (1.0 - self.jitter * fraction)
 
 
 @dataclass(slots=True)
@@ -283,15 +363,45 @@ class RemoteDSP:
     :class:`~repro.smartcard.resources.SimClock`: the *served* DSP
     charges its network model on its side, while the terminal charges
     card/link time locally.
+
+    Without a :class:`RetryPolicy` the handle keeps its historical
+    fail-fast shape: the first transport failure poisons it for good.
+    With one (``RemoteDSP.connect(..., retry=RetryPolicy())``) it
+    self-heals: transport failures reconnect and retry with
+    exponential backoff + jitter, admission-control
+    :class:`~repro.errors.ResourceExhausted` rejections back off on
+    the live connection, and a per-request ``deadline`` bounds the
+    whole affair as a :class:`~repro.errors.TransportError`.  Resumed
+    chunk pulls are guarded by the header's version: if the document
+    was republished while the pull was down, the retry raises
+    :class:`GenerationChanged` rather than splice two versions.
     """
 
-    def __init__(self, sock: socket.socket, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        sock: SocketLike,
+        clock: SimClock | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        address: tuple[str, int] | None = None,
+        timeout: float | None = None,
+        socket_wrapper: "Callable[[socket.socket], SocketLike] | None" = None,
+    ) -> None:
         self._sock = sock
         self._lock = threading.Lock()
         self._broken: str | None = None
+        self.retry = retry
+        self._address = address
+        self._timeout = timeout
+        self._wrap = socket_wrapper
+        #: Document versions observed via ``get_header`` on this handle
+        #: -- the reconnect-and-resume guard's memory.
+        self._doc_versions: dict[str, int] = {}
         self.clock = clock if clock is not None else SimClock()
         self.requests = 0
         self.bytes_received = 0
+        self.retries = 0
+        self.reconnects = 0
 
     @classmethod
     def connect(
@@ -299,8 +409,34 @@ class RemoteDSP:
         address: tuple[str, int],
         timeout: float | None = 10.0,
         clock: SimClock | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        socket_wrapper: "Callable[[socket.socket], SocketLike] | None" = None,
     ) -> "RemoteDSP":
-        """Open a connection to a served DSP."""
+        """Open a connection to a served DSP.
+
+        ``retry`` turns on the resilience layer (see the class doc).
+        ``socket_wrapper`` interposes on every socket the handle ever
+        opens -- the initial connection *and* each reconnect -- which
+        is how the chaos engine injects transport faults under a
+        self-healing client.
+        """
+        sock = cls._open(address, timeout, socket_wrapper)
+        return cls(
+            sock,
+            clock=clock,
+            retry=retry,
+            address=address,
+            timeout=timeout,
+            socket_wrapper=socket_wrapper,
+        )
+
+    @staticmethod
+    def _open(
+        address: tuple[str, int],
+        timeout: float | None,
+        wrap: "Callable[[socket.socket], SocketLike] | None",
+    ) -> SocketLike:
         try:
             sock = socket.create_connection(address, timeout=timeout)
         except OSError as exc:
@@ -308,7 +444,7 @@ class RemoteDSP:
                 f"cannot reach DSP at {address[0]}:{address[1]}: {exc}"
             ) from exc
         sock.settimeout(timeout)
-        return cls(sock, clock=clock)
+        return sock if wrap is None else wrap(sock)
 
     def _poison(self, reason: str) -> None:
         """Mark the connection unusable and drop the socket.
@@ -316,18 +452,75 @@ class RemoteDSP:
         After a timeout or mid-frame failure the stream may still hold
         a stale response; reading it would silently answer the *next*
         request with the previous payload, so the handle refuses all
-        further use instead.
+        further use instead.  With a retry policy, ``_call`` reconnects
+        a fresh socket before the next attempt.
         """
         self._broken = reason
         self._sock.close()
 
-    def _call(self, request: Request) -> object:
+    def _reconnect(self, request: Request) -> None:
+        """Replace the poisoned socket and re-validate the pull's world."""
+        if self._address is None:
+            raise TransportError(
+                f"DSP connection is unusable ({self._broken}) and this "
+                "handle has no address to reconnect to"
+            )
+        fresh = self._open(self._address, self._timeout, self._wrap)
+        with self._lock:
+            self._sock.close()
+            self._sock = fresh
+            self._broken = None
+        self.reconnects += 1
+        self._guard_generation(request)
+
+    def _guard_generation(self, request: Request) -> None:
+        """Refuse to resume a chunk pull across a republish.
+
+        Chunk MACs bind ``(doc_id, version, index)``, so a splice of
+        two versions would die at the card as ``TamperDetected``; this
+        check turns it into an actionable :class:`GenerationChanged`
+        before any tainted byte is fetched.
+        """
+        if not isinstance(request, (GetChunk, GetChunkRange)):
+            return
+        known = self._doc_versions.get(request.doc_id)
+        if known is None:
+            return
+        header = self._exchange(GetHeader(request.doc_id))
+        assert isinstance(header, DocumentHeader)
+        if header.version != known:
+            raise GenerationChanged(
+                f"document {request.doc_id!r} moved from version {known} "
+                f"to {header.version} while the pull was interrupted; "
+                "restart the pull against the new version",
+                doc_id=request.doc_id,
+            )
+
+    def _exchange(
+        self, request: Request, deadline: float | None = None
+    ) -> object:
         with self._lock:
             if self._broken is not None:
                 raise TransportError(
                     f"DSP connection is unusable ({self._broken}); "
                     "reconnect with RemoteDSP.connect"
                 )
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TransportError(
+                        "request deadline exhausted before the request "
+                        "could be sent"
+                    )
+                limit = (
+                    budget
+                    if self._timeout is None
+                    else min(self._timeout, budget)
+                )
+                try:
+                    self._sock.settimeout(max(0.001, limit))
+                except OSError:
+                    pass
             try:
                 write_frame(self._sock, encode_request(request))
                 body = read_frame(self._sock)
@@ -341,7 +534,52 @@ class RemoteDSP:
                 self._poison("server closed the connection")
                 raise TransportError("DSP closed the connection")
             self.bytes_received += len(body)
-        return decode_response(request, body)
+            try:
+                value = decode_response(request, body)
+            except WireError as exc:
+                # An undecodable response means the stream can no
+                # longer be trusted to be frame-aligned.
+                self._poison(f"undecodable response: {exc}")
+                raise TransportError(
+                    f"DSP sent an undecodable response: {exc}"
+                ) from exc
+        if isinstance(request, GetHeader) and isinstance(value, DocumentHeader):
+            self._doc_versions[request.doc_id] = value.version
+        return value
+
+    def _call(self, request: Request) -> object:
+        policy = self.retry
+        if policy is None:
+            return self._exchange(request)
+        deadline = (
+            None
+            if policy.deadline is None
+            else time.monotonic() + policy.deadline
+        )
+        attempt = 0
+        while True:
+            try:
+                if self._broken is not None:
+                    self._reconnect(request)
+                return self._exchange(request, deadline)
+            except GenerationChanged:
+                raise
+            except (TransportError, ResourceExhausted) as exc:
+                attempt += 1
+                if attempt >= policy.attempts:
+                    raise
+                delay = policy.delay(attempt - 1)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportError(
+                            f"deadline of {policy.deadline:g}s exceeded "
+                            f"after {attempt} attempts: {exc}"
+                        ) from exc
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
+                self.retries += 1
 
     # -- DSPClient --------------------------------------------------------
 

@@ -313,6 +313,11 @@ class CardProxy:
         groups: frozenset[str],
         metrics: SessionMetrics,
     ) -> None:
+        # A new session must never see the previous session's pending
+        # refetch entries -- a pull abandoned mid-window leaves them
+        # set, and replaying them against a different document would
+        # splice foreign fragments into the view.
+        self._refetch_entries: list[tuple[int, int, int]] = []
         flags = 0
         payload = b""
         if query is not None:

@@ -1,0 +1,91 @@
+"""FaultPlan determinism: same coordinates, same faults, every time."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import FaultPlan, FaultRule
+
+
+def _drive(plan, sites):
+    return [
+        (site, rule.kind if rule is not None else None)
+        for site in sites
+        for rule in [plan.decide(site)]
+    ]
+
+
+def test_at_indices_fire_exactly_there():
+    plan = FaultPlan(0, (FaultRule("s", "fail", at=(1, 3)),))
+    kinds = [r.kind if r else None for r in (plan.decide("s") for _ in range(5))]
+    assert kinds == [None, "fail", None, "fail", None]
+    assert plan.operations("s") == 5
+    assert [e.index for e in plan.fired] == [1, 3]
+
+
+def test_limit_caps_total_firings():
+    plan = FaultPlan(0, (FaultRule("s", "fail", probability=1.0, limit=2),))
+    kinds = [plan.decide("s") is not None for _ in range(6)]
+    assert kinds == [True, True, False, False, False, False]
+
+
+def test_site_patterns_are_fnmatch():
+    plan = FaultPlan(0, (FaultRule("backend.*", "fail", probability=1.0),))
+    assert plan.decide("backend.get") is not None
+    assert plan.decide("backend.put_document") is not None
+    assert plan.decide("socket.recv") is None
+
+
+def test_counters_are_per_site():
+    plan = FaultPlan(0, (FaultRule("a", "fail", at=(1,)),))
+    assert plan.decide("a") is None
+    # Traffic at other sites must not advance "a"'s counter.
+    for _ in range(5):
+        plan.decide("b")
+    assert plan.decide("a") is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32), probability=st.floats(0.1, 0.9))
+def test_probability_draws_replay_from_the_seed(seed, probability):
+    rules = (FaultRule("s", "fail", probability=probability),)
+    sites = ["s"] * 40
+    first = _drive(FaultPlan(seed, rules), sites)
+    second = _drive(FaultPlan(seed, rules), sites)
+    assert first == second
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32))
+def test_decisions_survive_interleaving(seed):
+    """The n-th draw at a site is the same whatever other sites did."""
+    rules = (
+        FaultRule("a", "fail", probability=0.5),
+        FaultRule("b", "stall", probability=0.5),
+    )
+    solo = FaultPlan(seed, rules)
+    solo_a = [solo.decide("a") is not None for _ in range(20)]
+    mixed = FaultPlan(seed, rules)
+    mixed_a = []
+    for n in range(20):
+        for _ in range(n % 3):  # arbitrary interleaved traffic at b
+            mixed.decide("b")
+        mixed_a.append(mixed.decide("a") is not None)
+    assert mixed_a == solo_a
+
+
+def test_describe_names_rules_and_hits():
+    plan = FaultPlan(7, (FaultRule("s", "fail", at=(0,), limit=1),))
+    plan.decide("s")
+    text = plan.describe()
+    assert "seed=7" in text
+    assert "s: fail" in text
+    assert "s#0: fail" in text
+
+
+def test_rules_can_be_armed_after_construction():
+    """Scenarios build worlds fault-free, then arm the plan."""
+    plan = FaultPlan(0)
+    assert plan.decide("s") is None  # clean publish traffic
+    plan.rules = (FaultRule("s", "fail", at=(1,)),)
+    assert plan.decide("s") is not None
+    assert len(plan.log) == 2

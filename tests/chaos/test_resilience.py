@@ -1,0 +1,164 @@
+"""RemoteDSP's resilience layer: retry, reconnect-resume, deadlines.
+
+The contract under test: transport failures heal transparently (the
+view a retried session delivers is byte-identical to a fault-free
+pull), a retried chunk fetch can never splice two document versions
+(:class:`GenerationChanged` guards the resume), typed policy answers
+are never retried, and no request ever outlives its deadline silently.
+"""
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultRule, FaultySocket
+from repro.chaos.scenarios import DOC_ID, build_world, golden_views
+from repro.community import Community
+from repro.dsp.remote import GenerationChanged, RemoteDSP, RetryPolicy
+from repro.errors import TransportError, UnknownDocument
+
+
+@pytest.fixture
+def served():
+    community = build_world()
+    server = community.serve()
+    yield community, server
+    community.close()
+
+
+def _attach(client):
+    attached = Community.attach(client)
+    attached.enroll("doctor")
+    return attached, attached.adopt(DOC_ID, "owner")
+
+
+# -- backoff schedule --------------------------------------------------------
+
+
+def test_delays_grow_exponentially_with_deterministic_jitter():
+    policy = RetryPolicy(backoff=0.1, multiplier=2.0, jitter=0.5, seed=7)
+    delays = [policy.delay(n) for n in range(4)]
+    assert delays == [policy.delay(n) for n in range(4)]  # seeded: replays
+    for n, delay in enumerate(delays):
+        base = 0.1 * 2.0**n
+        assert base * 0.5 <= delay <= base  # jitter only ever shrinks
+    assert delays[3] > delays[0]
+
+
+def test_zero_jitter_is_exact():
+    policy = RetryPolicy(backoff=0.05, multiplier=3.0, jitter=0.0)
+    assert [policy.delay(n) for n in range(3)] == pytest.approx(
+        [0.05, 0.15, 0.45]
+    )
+
+
+# -- healing -----------------------------------------------------------------
+
+
+def test_reconnect_heals_a_dropped_connection(served):
+    community, server = served
+    plan = FaultPlan(
+        0, (FaultRule("socket.recv", "disconnect", at=(4,), limit=1),)
+    )
+    client = RemoteDSP.connect(
+        server.address,
+        retry=RetryPolicy(attempts=5, backoff=0.01, deadline=30.0, seed=0),
+        socket_wrapper=lambda sock: FaultySocket(sock, plan),
+    )
+    attached, document = _attach(client)
+    with attached.member("doctor").open(document) as session:
+        view = session.query().text()
+    assert view == golden_views(1)["doctor"]
+    assert client.reconnects >= 1
+    client.close()
+
+
+def test_without_retry_policy_the_failure_is_raised(served):
+    community, server = served
+    plan = FaultPlan(
+        0, (FaultRule("socket.recv", "disconnect", at=(0,), limit=1),)
+    )
+    client = RemoteDSP.connect(
+        server.address, socket_wrapper=lambda sock: FaultySocket(sock, plan)
+    )
+    with pytest.raises(TransportError):
+        client.get_header(DOC_ID)
+    client.close()
+
+
+def test_policy_answers_are_never_retried(served):
+    community, server = served
+    client = RemoteDSP.connect(
+        server.address,
+        retry=RetryPolicy(attempts=5, backoff=0.01, deadline=30.0),
+    )
+    with pytest.raises(UnknownDocument):
+        client.get_header("no-such-doc")
+    assert client.retries == 0
+    client.close()
+
+
+def test_deadline_surfaces_as_transport_error_never_a_hang(served):
+    community, server = served
+    # Every recv stalls: the client must give up within the deadline.
+    plan = FaultPlan(
+        0, (FaultRule("socket.recv", "stall", probability=1.0),)
+    )
+    client = RemoteDSP.connect(
+        server.address,
+        retry=RetryPolicy(
+            attempts=100, backoff=0.01, deadline=0.5, jitter=0.0
+        ),
+        socket_wrapper=lambda sock: FaultySocket(sock, plan),
+    )
+    with pytest.raises(TransportError, match="deadline"):
+        client.get_header(DOC_ID)
+    client.close()
+
+
+# -- the generation guard ----------------------------------------------------
+
+
+def test_retried_chunk_pull_refuses_a_version_change(served):
+    community, server = served
+    plan = FaultPlan(0)
+    client = RemoteDSP.connect(
+        server.address,
+        retry=RetryPolicy(attempts=5, backoff=0.01, deadline=30.0, seed=0),
+        socket_wrapper=lambda sock: FaultySocket(sock, plan),
+    )
+    header = client.get_header(DOC_ID)  # records version 1
+    assert header.version == 1
+    client.get_chunk(DOC_ID, 0)
+    # The document moves on while the connection dies under us.
+    community.member("owner").publish(
+        community.document(DOC_ID).events,
+        community.document(DOC_ID).rules,
+        to=["doctor", "accountant"],
+        doc_id=DOC_ID,
+        chunk_size=64,
+    )
+    plan.rules = (
+        FaultRule("socket.recv", "disconnect", probability=1.0, limit=1),
+    )
+    with pytest.raises(GenerationChanged):
+        client.get_chunk(DOC_ID, 1)
+    # The guard is an answer, not a transient: it was not retried away.
+    client.close()
+
+
+def test_same_version_resume_is_transparent(served):
+    community, server = served
+    plan = FaultPlan(0)
+    client = RemoteDSP.connect(
+        server.address,
+        retry=RetryPolicy(attempts=5, backoff=0.01, deadline=30.0, seed=0),
+        socket_wrapper=lambda sock: FaultySocket(sock, plan),
+    )
+    client.get_header(DOC_ID)
+    first = client.get_chunk(DOC_ID, 0)
+    plan.rules = (
+        FaultRule("socket.recv", "disconnect", probability=1.0, limit=1),
+    )
+    again = client.get_chunk(DOC_ID, 0)
+    assert again == first
+    assert client.reconnects == 1
+    client.close()

@@ -8,10 +8,13 @@ disconnects, garbage -- without wedging the loop or leaking buffers.
 """
 
 import socket
+import struct
 import threading
 import time
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.community import Community
 from repro.dsp import RemoteDSP
@@ -20,10 +23,17 @@ from repro.dsp.remote import DSPSocketServer, read_frame, write_frame
 from repro.dsp.wire import (
     GetChunkRange,
     GetHeader,
+    WireError,
     decode_response,
     encode_request,
+    frame,
 )
-from repro.errors import PolicyError, ResourceExhausted
+from repro.errors import (
+    PolicyError,
+    ReproError,
+    ResourceExhausted,
+    TransportError,
+)
 from repro.terminal.transfer import TransferPolicy
 from repro.workloads.docgen import hospital
 from repro.workloads.rulegen import hospital_rules
@@ -355,3 +365,115 @@ def test_idle_connections_are_reaped(published_community, flavor):
         assert busy.get_header(DOC_ID).doc_id == DOC_ID
         busy.close()
         idle.close()
+
+
+# -- chaos: cache integrity and read-path fuzz -------------------------------
+
+
+def test_cache_intact_after_mid_write_run_disconnects(published_community):
+    """A client that vanishes mid coalesced-write-run must not leave a
+    partially-written entry in any loop's response cache."""
+    with published_community.serve() as server:
+        request = encode_request(GetChunkRange(DOC_ID, 0, 32))
+        warm = socket.create_connection(server.address, timeout=10)
+        write_frame(warm, request)
+        good = read_frame(warm)
+        assert good is not None
+        warm.close()
+        assert server.cache_entries >= 1
+        # Hostile replays: tiny receive buffer, a burst of pipelined
+        # big-range requests so responses back up into a write run,
+        # then a hard disconnect while the run is draining.
+        for _ in range(4):
+            evil = _tiny_buffer_connection(server.address)
+            for _ in range(8):
+                write_frame(evil, request)
+            time.sleep(0.05)
+            evil.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),  # RST, not FIN: mid-frame death
+            )
+            evil.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if server._open_connections() == 0:
+                break
+            time.sleep(0.02)
+        # Every cached entry is still a complete, well-framed success.
+        assert server.validate_caches() == []
+        # And the cache still answers byte-identically.
+        again = socket.create_connection(server.address, timeout=10)
+        write_frame(again, request)
+        assert read_frame(again) == good
+        again.close()
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    community = Community()
+    owner = community.enroll("owner")
+    readers = [community.enroll(name) for name in READERS]
+    events = list(tree_to_events(hospital(n_patients=3)))
+    owner.publish(
+        events, hospital_rules(), to=readers, doc_id=DOC_ID, chunk_size=64
+    )
+    server = community.serve()
+    yield server
+    community.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    garbage=st.binary(min_size=1, max_size=80),
+    mode=st.sampled_from(["framed", "raw", "truncated"]),
+)
+def test_fuzzed_read_path_yields_only_typed_errors_never_hangs(
+    fuzz_server, garbage, mode
+):
+    """Garbage and truncation into a live reactor connection produce a
+    typed error frame or an orderly drop -- never a hang, never a
+    partial view, never a torn cache entry."""
+    sock = socket.create_connection(fuzz_server.address, timeout=10)
+    sock.settimeout(5)
+    try:
+        if mode == "framed":
+            write_frame(sock, garbage)
+        elif mode == "raw":
+            # Raw bytes may stop mid-prefix; signal EOF so the server
+            # can conclude (a dangling partial frame is the slow-loris
+            # case, covered above) and the read below cannot block on
+            # a request the server is still legitimately waiting for.
+            sock.sendall(garbage)
+            sock.shutdown(socket.SHUT_WR)
+        else:
+            framed = frame(garbage)
+            sock.sendall(framed[: max(1, len(framed) - 2)])
+            sock.shutdown(socket.SHUT_WR)
+        try:
+            body = read_frame(sock)
+        except (WireError, TransportError):
+            body = None  # hostile reply or mid-frame cut: an orderly end
+        if body is not None:
+            # Any reply must be a decodable typed error (or, for raw
+            # bytes that happened to parse, a well-formed response).
+            try:
+                decode_response(GetHeader(DOC_ID), body)
+            except (ValueError, ReproError):
+                pass
+    finally:
+        sock.close()
+    # The server survived: a clean client is served correctly and no
+    # loop cached anything but complete success frames.
+    probe = socket.create_connection(fuzz_server.address, timeout=10)
+    probe.settimeout(5)
+    write_frame(probe, encode_request(GetHeader(DOC_ID)))
+    ok = read_frame(probe)
+    assert ok is not None
+    assert decode_response(GetHeader(DOC_ID), ok).doc_id == DOC_ID
+    probe.close()
+    assert fuzz_server.validate_caches() == []
