@@ -36,13 +36,15 @@ from repro.chaos.faults import (
     crash_reopen,
 )
 from repro.chaos.plan import FaultPlan, FaultRule
-from repro.community import Community
+from repro.community import Community, TierSpec
 from repro.crypto.container import DocumentContainer
+from repro.crypto.groupkey import wrap_call_count
 from repro.dsp import LocalDSP, RemoteDSP
 from repro.dsp.backends import MemoryBackend, ShardedBackend
 from repro.dsp.reactor import AdmissionPolicy
 from repro.dsp.remote import GenerationChanged, RetryPolicy
 from repro.errors import (
+    KeyNotGranted,
     ReproError,
     ResourceExhausted,
     TamperDetected,
@@ -438,6 +440,88 @@ def _scenario_revocation_storm(seed: int, fault: str) -> ScenarioResult:
     return result
 
 
+def _scenario_feed_revoke(seed: int, fault: str) -> ScenarioResult:
+    """Tier revocation mid-carousel on a feed, with a faulted victim.
+
+    The invariant: the revoked member sees only ``KeyNotGranted`` (or
+    the injected ``TamperDetected``), every surviving member of the
+    tier -- and of the *other* tier -- stays byte-identical to the
+    fault-free golden, the revocation itself performs exactly one
+    re-wrap, and a fresh member joining after the storm gets golden
+    bytes on the next cycle.
+    """
+    result = ScenarioResult("feed-revoke", fault, seed, ok=False)
+    plan = FaultPlan(seed)
+    community = Community()
+    owner = community.enroll("owner")
+    for name in ("doctor", "accountant", "auditor"):
+        community.enroll(name, strict_memory=False)
+    feed = community.feed(
+        "bulletins",
+        owner=owner,
+        tiers=[
+            TierSpec("staff", allow=("/report",), drop=("secret",)),
+            TierSpec("board", allow=("/report",)),
+        ],
+    )
+    feed.publish(
+        "<report><summary>rounds</summary>"
+        "<body>shift notes<secret>salaries</secret></body></report>",
+        doc_id="flash",
+        chunk_size=_CHUNK_SIZE,
+    )
+    try:
+        if fault != "none":
+            victim = community.member("accountant")
+            wrapper = FaultyCard(victim.terminal.card, plan)
+            victim.terminal.card = wrapper  # type: ignore[assignment]
+            victim.terminal.proxy.card = wrapper  # type: ignore[assignment]
+            plan.rules = (
+                FaultRule("card.process", fault, at=(10,), limit=1),
+            )
+        doctor = feed.subscribe("doctor", "staff")
+        accountant = feed.subscribe("accountant", "staff")
+        auditor = feed.subscribe("auditor", "board")
+        golden = feed.preview()
+        feed.broadcast(1)
+        wraps_before = wrap_call_count()
+        feed.revoke("accountant")  # the storm, between carousel cycles
+        rewraps = wrap_call_count() - wraps_before
+        feed.broadcast(1)
+        if rewraps != 1:
+            result.detail = f"revocation performed {rewraps} wraps, not 1"
+            return result
+        if not doctor.ok or doctor.view != golden["staff"]:
+            result.detail = "the revocation disturbed a same-tier survivor"
+            return result
+        if not auditor.ok or auditor.view != golden["board"]:
+            result.detail = "the revocation disturbed the other tier"
+            return result
+        # Recovery: a fresh joiner after the storm gets golden bytes.
+        community.enroll("fresh", strict_memory=False)
+        fresh = feed.subscribe("fresh", "staff")
+        feed.broadcast(1)
+        if not fresh.ok or fresh.view != golden["staff"]:
+            result.detail = "a post-storm joiner did not get golden bytes"
+            return result
+        result.delivered = True
+        result.matched_golden = True
+        allowed: tuple[type[BaseException], ...] = (
+            (KeyNotGranted, TamperDetected)
+            if fault == "tamper"
+            else (KeyNotGranted,)
+        )
+        try:
+            accountant.require_ok()
+            result.detail = "the revoked member saw no error at all"
+        except ReproError as exc:
+            result.ok = _expect_error(result, exc, allowed)
+    finally:
+        result.fault_log = plan.describe()
+        community.close()
+    return result
+
+
 def _scenario_republish_race(seed: int, fault: str) -> ScenarioResult:
     """A republish racing an in-flight pull; final view is version 2."""
     result = ScenarioResult("republish-race", fault, seed, ok=False)
@@ -760,6 +844,12 @@ SCENARIOS: tuple[Scenario, ...] = (
         ("none", "exhaust", "tamper"),
         ("none", "tamper"),
         _scenario_revocation_storm,
+    ),
+    Scenario(
+        "feed-revoke",
+        ("none", "tamper"),
+        ("none", "tamper"),
+        _scenario_feed_revoke,
     ),
     Scenario("republish-race", ("race",), ("race",), _scenario_republish_race),
     Scenario(

@@ -28,6 +28,8 @@ Handles:
 :class:`Session`    one pull session (context manager), ``query``
 :class:`ViewStream` incremental authorized view; ``text``/``events``
 :class:`Channel`    push/carousel path; ``subscribe``/``broadcast``
+:class:`Feed`       tiered dissemination; ``publish``/``subscribe``/
+                    ``broadcast``/``catch_up``/``revoke``
 =================  ====================================================
 
 Views stream: ``session.query(xpath)`` returns a :class:`ViewStream`
@@ -39,15 +41,19 @@ position.  Failures raise the :mod:`repro.errors` taxonomy.
 from repro.community.channels import Channel, SubscriberHandle
 from repro.community.facade import Community, Document, Member
 from repro.community.session import Session, ViewStream
+from repro.feeds import Feed, FeedSubscriberHandle, TierSpec
 from repro.terminal.proxy import ViewPiece
 
 __all__ = [
     "Channel",
     "Community",
     "Document",
+    "Feed",
+    "FeedSubscriberHandle",
     "Member",
     "Session",
     "SubscriberHandle",
+    "TierSpec",
     "ViewPiece",
     "ViewStream",
 ]

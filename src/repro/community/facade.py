@@ -50,6 +50,7 @@ from typing import Iterable, Sequence, Union
 from repro.community.channels import Channel
 from repro.community.session import Session
 from repro.core.compiled import PolicyRegistry
+from repro.core.delivery import ViewMode
 from repro.core.rules import AccessRule, RuleSet
 from repro.crypto.container import DocumentContainer
 from repro.crypto.pki import SimulatedPKI
@@ -60,6 +61,9 @@ from repro.dsp.remote import DSPSocketServer
 from repro.dsp.server import DSPServer
 from repro.dsp.store import DSPStore
 from repro.errors import PolicyError, UnknownDocument
+from repro.feeds.feed import Feed
+from repro.feeds.subscriber import FeedSubscriberHandle
+from repro.feeds.tiers import TierSpec
 from repro.skipindex.encoder import IndexMode
 from repro.smartcard.resources import LinkModel, NetworkModel, SimClock
 from repro.terminal.api import Publisher, PublishReceipt
@@ -174,6 +178,7 @@ class Community:
         self._members: dict[str, Member] = {}
         self._documents: dict[str, Document] = {}
         self._channels: dict[str, Channel] = {}
+        self._feeds: dict[str, Feed] = {}
         self._doc_sequence = 0
         self._servers: list[ReactorDSPServer | DSPSocketServer] = []
         self._restoring = False
@@ -228,6 +233,26 @@ class Community:
                     community.adopt(doc_id, info["owner"])
                     community._documents[doc_id].recipients = list(
                         info.get("recipients", [])
+                    )
+                for name, feed_info in manifest.get("feeds", {}).items():
+                    # Tier *rules* are never in the manifest (policy is
+                    # sealed at the DSP, exactly like document rules);
+                    # only names and quotas -- shapes the DSP observes
+                    # from the broadcast anyway -- are restored, and the
+                    # feed comes back sealed: catch-up works, owner
+                    # operations need the publishing process.
+                    community._feeds[name] = Feed(
+                        community,
+                        name,
+                        community.member(feed_info["owner"]),
+                        [
+                            TierSpec(
+                                name=tier["name"], quota=tier.get("quota")
+                            )
+                            for tier in feed_info.get("tiers", [])
+                        ],
+                        sealed=True,
+                        doc_ids=list(feed_info.get("docs", [])),
                     )
                 community._doc_sequence = int(
                     manifest.get("doc_sequence", 0)
@@ -369,6 +394,17 @@ class Community:
                 }
                 for doc_id, document in self._documents.items()
             },
+            "feeds": {
+                name: {
+                    "owner": feed.owner.name,
+                    "tiers": [
+                        {"name": spec.name, "quota": spec.quota}
+                        for spec in feed.tiers
+                    ],
+                    "docs": [doc.doc_id for doc in feed.documents],
+                }
+                for name, feed in self._feeds.items()
+            },
             "doc_sequence": self._doc_sequence,
         }
         meta.put_meta(_MANIFEST_KEY, json.dumps(manifest, sort_keys=True))
@@ -485,6 +521,46 @@ class Community:
             self._channels[document.doc_id] = channel
         return channel
 
+    def feed(
+        self,
+        name: str,
+        *,
+        owner: "Member | str | None" = None,
+        tiers: Sequence[TierSpec] | None = None,
+    ) -> Feed:
+        """Create or fetch the tiered feed handle named ``name``.
+
+        With ``owner=`` and ``tiers=`` it creates a new feed (group-key
+        hierarchy written to the DSP, one lane per tier); without them
+        it returns the existing handle.  A feed restored by
+        :meth:`open` comes back sealed -- ``catch_up`` works, owner
+        operations need the publishing process.
+        """
+        existing = self._feeds.get(name)
+        if existing is not None:
+            if owner is not None or tiers is not None:
+                raise PolicyError(
+                    f"feed {name!r} already exists; call "
+                    f"community.feed({name!r}) without owner/tiers for "
+                    "its handle",
+                    subject=existing.owner.name,
+                )
+            return existing
+        if owner is None or tiers is None:
+            raise PolicyError(
+                f"no feed {name!r} in this community "
+                "(pass owner= and tiers= to create one)"
+            )
+        owner_member = owner if isinstance(owner, Member) else self.member(owner)
+        feed = Feed(self, name, owner_member, list(tiers))
+        self._feeds[name] = feed
+        self._save_manifest()
+        return feed
+
+    @property
+    def feeds(self) -> "list[Feed]":
+        return list(self._feeds.values())
+
 
 class Member:
     """One enrolled principal: an identity, a publisher, a card.
@@ -596,6 +672,26 @@ class Member:
         return document
 
     # -- reader side ------------------------------------------------------
+
+    def subscribe(
+        self,
+        feed: "Feed | str",
+        tier: str,
+        *,
+        view_mode: ViewMode = ViewMode.SKELETON,
+        transfer: TransferPolicy | None = None,
+    ) -> FeedSubscriberHandle:
+        """Join a tier of a feed (``community.feed(...)`` sugar).
+
+        One PKI wrap now, zero per-cycle cost after: the returned
+        handle accumulates this member's authorized views as the feed
+        broadcasts.
+        """
+        if isinstance(feed, str):
+            feed = self.community.feed(feed)
+        return feed.subscribe(
+            self, tier, view_mode=view_mode, transfer=transfer
+        )
 
     def open(
         self,

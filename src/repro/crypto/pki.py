@@ -13,12 +13,11 @@ the DSP learning it -- is genuine, while staying offline.
 from __future__ import annotations
 
 import hashlib
-import hmac
 import os
 from dataclasses import dataclass
 
-from repro.crypto.modes import cbc_decrypt, cbc_encrypt
-from repro.crypto.xtea import BLOCK_SIZE, KEY_SIZE
+from repro.crypto.groupkey import unwrap_with_kek, wrap_with_kek
+from repro.crypto.xtea import KEY_SIZE
 from repro.errors import KeyNotGranted
 
 # RFC 3526, group 14 (2048-bit MODP).
@@ -144,22 +143,42 @@ class SimulatedPKI:
     def wrap_secret(
         self, sender: str, recipient: str, secret: bytes
     ) -> bytes:
-        """Wrap ``secret`` from ``sender`` to ``recipient``."""
+        """Wrap ``secret`` from ``sender`` to ``recipient``.
+
+        Delegates to the shared :mod:`repro.crypto.groupkey` helper with
+        the pairwise ``sender:recipient`` context -- byte-identical to
+        the historical inline construction, so blobs persisted by older
+        builds still unwrap.
+        """
         kek = self._kek(sender, self.public_key(recipient))
-        iv = hmac.new(
-            kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
-        ).digest()[:BLOCK_SIZE]
-        return cbc_encrypt(secret, kek, iv)
+        return wrap_with_kek(kek, f"{sender}:{recipient}", secret)
 
     def unwrap_secret(
         self, recipient: str, sender: str, wrapped: bytes
     ) -> bytes:
         """Unwrap a secret received from ``sender``."""
         kek = self._kek(recipient, self.public_key(sender))
-        iv = hmac.new(
-            kek, f"wrap:{sender}:{recipient}".encode(), hashlib.sha256
-        ).digest()[:BLOCK_SIZE]
-        return cbc_decrypt(wrapped, kek, iv)
+        return unwrap_with_kek(kek, f"{sender}:{recipient}", wrapped)
+
+    def wrap_for(
+        self, sender: str, recipient: str, context: str, secret: bytes
+    ) -> bytes:
+        """Pairwise wrap under an explicit context label.
+
+        Same pairwise KEK as :meth:`wrap_secret`, but the IV binds to a
+        caller-chosen context (e.g. a feed tier) instead of the bare
+        principal pair, so one pair of principals can exchange several
+        independent secrets without IV reuse.
+        """
+        kek = self._kek(sender, self.public_key(recipient))
+        return wrap_with_kek(kek, context, secret)
+
+    def unwrap_from(
+        self, recipient: str, sender: str, context: str, wrapped: bytes
+    ) -> bytes:
+        """Invert :meth:`wrap_for` on the recipient side."""
+        kek = self._kek(recipient, self.public_key(sender))
+        return unwrap_with_kek(kek, context, wrapped)
 
     def publish_secret(
         self, owner: str, recipients: list[str], secret: bytes

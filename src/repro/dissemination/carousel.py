@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.crypto.container import DocumentContainer
 from repro.dissemination.channel import BroadcastChannel
 from repro.dissemination.publisher import StreamPublisher
+from repro.dissemination.subscriber import Subscriber
 
 
 class BroadcastCarousel:
@@ -48,7 +49,7 @@ class LateJoiningSubscriber:
     ignored (the view is already complete).
     """
 
-    def __init__(self, subscriber) -> None:
+    def __init__(self, subscriber: Subscriber) -> None:
         self.subscriber = subscriber
         self.joined = False
         self.frames_missed = 0

@@ -141,12 +141,14 @@ class Subscriber:
             CommandAPDU(Instruction.BEGIN_SESSION, data=begin)
         )
         if not response.ok:
-            return self._fail("begin", response)
+            self._fail("begin", response)
+            return
         response = self._transmit(
             CommandAPDU(Instruction.PUT_HEADER, data=payload)
         )
         if not response.ok:
-            return self._fail("header", response)
+            self._fail("header", response)
+            return
         for rule_index, record in enumerate(self._rule_records):
             data = struct.pack(">Q", self._rules_version) + record
             response = self._transmit(
@@ -158,7 +160,8 @@ class Subscriber:
                 )
             )
             if not response.ok:
-                return self._fail(f"rule {rule_index}", response)
+                self._fail(f"rule {rule_index}", response)
+                return
 
     def _on_chunk(self, index: int, payload: bytes) -> None:
         if self.state.failed or self.state.document_done:
@@ -182,7 +185,8 @@ class Subscriber:
                 )
             )
             if not response.ok:
-                return self._fail(f"chunk {index}", response)
+                self._fail(f"chunk {index}", response)
+                return
             next_offset, done = struct.unpack(">QB", response.data[:9])
             self.state.next_needed_offset = next_offset
             self._drain(response)
@@ -205,9 +209,8 @@ class Subscriber:
             self._transmit, batch, self.link.max_command_payload
         )
         if not outcome.completed:
-            return self._fail(
-                f"chunk batch {first}..{last}", outcome.response
-            )
+            self._fail(f"chunk batch {first}..{last}", outcome.response)
+            return
         self.metrics.chunks_sent += len(batch) - outcome.dropped
         self.metrics.chunks_wasted += outcome.dropped
         self.metrics.bytes_wasted += outcome.dropped_bytes
@@ -231,7 +234,8 @@ class Subscriber:
             return
         response = self._transmit(CommandAPDU(Instruction.END_DOCUMENT))
         if not response.ok:
-            return self._fail("end", response)
+            self._fail("end", response)
+            return
         self._drain(response)
         self._ended = True
         self._finalize_metrics()

@@ -215,6 +215,13 @@ CREATE TABLE IF NOT EXISTS wrapped_keys (
     blob BLOB NOT NULL,
     PRIMARY KEY (doc_id, recipient)
 ) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS feed_snapshots (
+    feed TEXT NOT NULL,
+    tier TEXT NOT NULL,
+    epoch INTEGER NOT NULL,
+    blob BLOB NOT NULL,
+    PRIMARY KEY (feed, tier)
+) WITHOUT ROWID;
 """
 
 
@@ -461,6 +468,45 @@ class SQLiteBackend:
             ).fetchone()
             return str(row[0]) if row is not None else None
 
+    # -- feed snapshots (beyond the protocol) ----------------------------
+
+    def put_feed_snapshot(
+        self, feed: str, tier: str, blob: bytes, *, epoch: int = 0
+    ) -> None:
+        """Persist one tier's latest carousel cycle for catch-up.
+
+        Keyed on ``(feed, tier)`` -- a new cycle replaces the old one;
+        the blob carries its own epoch/generation/version stamps (see
+        :mod:`repro.feeds.snapshot`), and the ``epoch`` column mirrors
+        the blob's stamp so operators can inspect currency with SQL.
+        Everything stored is ciphertext the broadcast channel already
+        carried in public.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO feed_snapshots "
+                "(feed, tier, epoch, blob) VALUES (?, ?, ?, ?)",
+                (feed, tier, epoch, blob),
+            )
+
+    def get_feed_snapshot(self, feed: str, tier: str) -> bytes | None:
+        """The persisted cycle blob for one tier, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT blob FROM feed_snapshots WHERE feed = ? AND tier = ?",
+                (feed, tier),
+            ).fetchone()
+            return bytes(row[0]) if row is not None else None
+
+    def delete_feed_snapshot(self, feed: str, tier: str) -> bool:
+        """Drop a tier's persisted cycle (returns whether one existed)."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM feed_snapshots WHERE feed = ? AND tier = ?",
+                (feed, tier),
+            )
+            return cursor.rowcount > 0
+
 
 class ShardedBackend:
     """N independent :class:`StoreBackend` shards keyed by document id.
@@ -579,3 +625,35 @@ class ShardedBackend:
         if isinstance(shard, SQLiteBackend):
             return shard.get_meta(key)
         return None
+
+    # -- feed snapshots (beyond the protocol) ----------------------------
+
+    def put_feed_snapshot(
+        self, feed: str, tier: str, blob: bytes, *, epoch: int = 0
+    ) -> None:
+        """Feed snapshots ride on shard 0 when that shard is durable.
+
+        Snapshots are feed-keyed, not document-keyed, so the crc32
+        document routing does not apply; like the deployment manifest
+        they live on the durable shard 0.
+        """
+        shard = self.shards[0]
+        if isinstance(shard, SQLiteBackend):
+            shard.put_feed_snapshot(feed, tier, blob, epoch=epoch)
+        else:
+            raise PolicyError(
+                "feed snapshot storage needs a durable shard 0 "
+                "(ShardedBackend.sqlite)"
+            )
+
+    def get_feed_snapshot(self, feed: str, tier: str) -> bytes | None:
+        shard = self.shards[0]
+        if isinstance(shard, SQLiteBackend):
+            return shard.get_feed_snapshot(feed, tier)
+        return None
+
+    def delete_feed_snapshot(self, feed: str, tier: str) -> bool:
+        shard = self.shards[0]
+        if isinstance(shard, SQLiteBackend):
+            return shard.delete_feed_snapshot(feed, tier)
+        return False

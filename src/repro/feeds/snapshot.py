@@ -1,0 +1,138 @@
+"""Persisted carousel cycles for late-joiner catch-up.
+
+A :class:`CycleSnapshot` is one tier's complete broadcast cycle -- the
+exact ``(kind, index, payload)`` frames the channel carried -- plus the
+stamps needed to prove it is still current: the tier epoch, the store
+generation observed when it was recorded, and each document's
+(container version, rules version) pair.
+
+Validity follows the PR-5 invalidation contract: if the store's
+generation still equals the stamp, *nothing* at the DSP changed and
+the snapshot is fresh with zero further reads.  Otherwise the stamps
+are re-checked piecewise -- a republish moves a container version, a
+policy update moves a rules version, a tier revocation moves the epoch
+-- and any mismatch makes the snapshot stale.  A live feed re-records
+a stale snapshot from the store; a sealed (reopened) feed reports it,
+so a late joiner can never be served a cycle from before a revocation
+or republish.
+
+Everything in a snapshot is ciphertext the broadcast channel already
+carried in public; persisting it at the untrusted DSP leaks nothing
+new.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import TamperDetected
+
+_MAGIC = b"FSNAP1\n"
+_KINDS = ("header", "chunk", "end")
+
+
+@dataclass(frozen=True, slots=True)
+class CycleSnapshot:
+    """One recorded carousel cycle of one feed tier."""
+
+    feed: str
+    tier: str
+    epoch: int
+    generation: int
+    #: ``(doc_id, container_version, rules_version)`` per document, in
+    #: broadcast order.
+    docs: tuple[tuple[str, int, int], ...]
+    #: The cycle's frames, exactly as broadcast.
+    frames: tuple[tuple[str, int, bytes], ...]
+
+
+def encode_snapshot(snapshot: CycleSnapshot) -> bytes:
+    """Serialize a snapshot to the backend's blob format."""
+    parts: list[bytes] = [_MAGIC]
+    for label in (snapshot.feed, snapshot.tier):
+        raw = label.encode("utf-8")
+        parts.append(struct.pack(">H", len(raw)) + raw)
+    parts.append(struct.pack(">QQ", snapshot.epoch, snapshot.generation))
+    parts.append(struct.pack(">H", len(snapshot.docs)))
+    for doc_id, version, rules_version in snapshot.docs:
+        raw = doc_id.encode("utf-8")
+        parts.append(struct.pack(">H", len(raw)) + raw)
+        parts.append(struct.pack(">QQ", version, rules_version))
+    parts.append(struct.pack(">I", len(snapshot.frames)))
+    for kind, index, payload in snapshot.frames:
+        parts.append(
+            struct.pack(">BII", _KINDS.index(kind), index, len(payload))
+        )
+        parts.append(payload)
+    return b"".join(parts)
+
+
+class _Reader:
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise TamperDetected(
+                "feed snapshot blob is truncated "
+                f"(needed {end} bytes, have {len(self.data)})"
+            )
+        value = self.data[self.offset:end]
+        self.offset = end
+        return value
+
+    def unpack(self, fmt: str) -> tuple[int, ...]:
+        raw = self.take(struct.calcsize(fmt))
+        return struct.unpack(fmt, raw)
+
+    def label(self) -> str:
+        (length,) = self.unpack(">H")
+        return self.take(length).decode("utf-8")
+
+
+def decode_snapshot(blob: bytes) -> CycleSnapshot:
+    """Parse a backend blob; :class:`TamperDetected` on malformation.
+
+    The snapshot lives at the untrusted DSP, so a malformed blob is
+    treated exactly like any other tampered artifact -- a typed error,
+    never an ``IndexError`` escaping from parsing.
+    """
+    reader = _Reader(blob)
+    if reader.take(len(_MAGIC)) != _MAGIC:
+        raise TamperDetected("feed snapshot blob has a bad magic prefix")
+    feed = reader.label()
+    tier = reader.label()
+    epoch, generation = reader.unpack(">QQ")
+    (doc_count,) = reader.unpack(">H")
+    docs: list[tuple[str, int, int]] = []
+    for _ in range(doc_count):
+        doc_id = reader.label()
+        version, rules_version = reader.unpack(">QQ")
+        docs.append((doc_id, version, rules_version))
+    (frame_count,) = reader.unpack(">I")
+    frames: list[tuple[str, int, bytes]] = []
+    for _ in range(frame_count):
+        kind_code, index, length = reader.unpack(">BII")
+        if kind_code >= len(_KINDS):
+            raise TamperDetected(
+                f"feed snapshot frame has unknown kind code {kind_code}"
+            )
+        frames.append((_KINDS[kind_code], index, bytes(reader.take(length))))
+    if reader.offset != len(blob):
+        raise TamperDetected(
+            f"feed snapshot blob carries {len(blob) - reader.offset} "
+            "trailing bytes"
+        )
+    return CycleSnapshot(
+        feed=feed,
+        tier=tier,
+        epoch=epoch,
+        generation=generation,
+        docs=tuple(docs),
+        frames=tuple(frames),
+    )

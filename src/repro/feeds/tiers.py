@@ -1,0 +1,115 @@
+"""Tier templates: frozen rule sets a feed stamps onto every item.
+
+A :class:`TierSpec` is the feed-level analogue of a CTI exporter's
+per-partner policy file: what the tier may see (``allow``), what it
+must never see (``deny``), which elements are sanitized away before
+they ever reach a tier member (``drop``), and how many documents one
+carousel cycle may carry (``quota``).
+
+The spec compiles to ordinary ``<sign, subject, object>`` rules whose
+subject is the tier's *group* (``feed:{feed}:{tier}``).  Every member
+of a tier therefore shares one effective sub-policy: the compiled-
+policy registry fingerprints them identically, the automata compile
+once per tier, and the head-end preview needs one evaluation lane per
+tier regardless of how many members subscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.rules import AccessRule, RuleSet
+from repro.errors import PolicyError
+
+
+def _as_tuple(value: "Iterable[str] | str") -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True, slots=True)
+class TierSpec:
+    """One named tier of a feed, as a frozen rule template.
+
+    ``allow``/``deny`` are XPath expressions (``XP{[],*,//}``) granted
+    or prohibited to the whole tier; ``drop`` entries are sanitization
+    filters -- a bare tag name ``t`` compiles to a deny on ``//t``, an
+    absolute path is used verbatim -- applied through the same card-
+    enforced policy as everything else (sanitization *is* policy, not
+    a bolt-on text pass).  ``quota`` caps how many feed documents one
+    carousel cycle broadcasts to this tier (``None`` = unlimited).
+    """
+
+    name: str
+    allow: tuple[str, ...] = ()
+    deny: tuple[str, ...] = ()
+    drop: tuple[str, ...] = ()
+    quota: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "allow", _as_tuple(self.allow))
+        object.__setattr__(self, "deny", _as_tuple(self.deny))
+        object.__setattr__(self, "drop", _as_tuple(self.drop))
+        if not self.name or ":" in self.name:
+            raise PolicyError(
+                f"tier name {self.name!r} must be non-empty and contain "
+                "no ':' (it becomes part of the tier's group subject)"
+            )
+        if self.quota is not None and self.quota < 1:
+            raise PolicyError(
+                f"tier {self.name!r}: quota must be at least 1 document "
+                "per cycle (None for unlimited)"
+            )
+
+    def group(self, feed: str) -> str:
+        """The group subject every member of this tier carries."""
+        return f"feed:{feed}:{self.name}"
+
+    def rules_for(self, feed: str) -> list[AccessRule]:
+        """This tier's rules, with deterministic feed-scoped ids.
+
+        Ids are ``F:{feed}:{tier}:{n}`` so composing several tiers into
+        one document policy never collides, and republishing yields the
+        same ids (stable fingerprints, stable compiled-policy cache
+        keys).
+        """
+        group = self.group(feed)
+        rules: list[AccessRule] = []
+        for xpath in self.allow:
+            rules.append(
+                AccessRule.parse(
+                    "+", group, xpath, rule_id=f"F:{feed}:{self.name}:{len(rules)}"
+                )
+            )
+        for xpath in self.deny:
+            rules.append(
+                AccessRule.parse(
+                    "-", group, xpath, rule_id=f"F:{feed}:{self.name}:{len(rules)}"
+                )
+            )
+        for entry in self.drop:
+            xpath = entry if entry.startswith("/") else f"//{entry}"
+            rules.append(
+                AccessRule.parse(
+                    "-", group, xpath, rule_id=f"F:{feed}:{self.name}:{len(rules)}"
+                )
+            )
+        return rules
+
+
+def compose_rules(feed: str, tiers: Sequence[TierSpec]) -> RuleSet:
+    """The one document policy carrying every tier's template.
+
+    Tier order is the declaration order, so the composed policy -- and
+    therefore its fingerprint and every tier's effective sub-policy --
+    is deterministic across republishes and process restarts.
+    """
+    names = [tier.name for tier in tiers]
+    if len(set(names)) != len(names):
+        raise PolicyError(f"feed {feed!r}: duplicate tier names in {names}")
+    rules: list[AccessRule] = []
+    for tier in tiers:
+        rules.extend(tier.rules_for(feed))
+    return RuleSet(rules)

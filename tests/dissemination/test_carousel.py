@@ -92,6 +92,21 @@ def test_mid_cycle_joiner_skips_partial_frames():
     assert late.view == expected
 
 
+def test_carousel_cycles_are_byte_deterministic():
+    """Every cycle of one container version emits the identical frame
+    sequence -- the property feed catch-up snapshots rely on: replaying
+    a recorded cycle is indistinguishable from listening live."""
+    container, __, __ = _sealed_stream()
+    channel = BroadcastChannel()
+    frames = []
+    channel.subscribe(lambda kind, index, blob: frames.append((kind, index, blob)))
+    BroadcastCarousel(channel).run(container, cycles=2)
+    assert len(frames) % 2 == 0
+    half = len(frames) // 2
+    assert frames[:half] == frames[half:]
+    assert frames[0][0] == "header" and frames[half - 1][0] == "end"
+
+
 def test_carousel_same_version_not_replay():
     """Repeated cycles of one version pass the card's version register."""
     container, records, expected = _sealed_stream()

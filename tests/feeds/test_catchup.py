@@ -1,0 +1,259 @@
+"""Late-joiner catch-up: snapshots, invalidation, durability, codec."""
+
+import pytest
+
+from repro.community import Community, TierSpec
+from repro.dsp.backends import ShardedBackend
+from repro.errors import PolicyError, TamperDetected
+from repro.feeds import CycleSnapshot, decode_snapshot, encode_snapshot
+
+REPORT = (
+    "<report><summary>sum</summary>"
+    "<body>text<secret>classified</secret></body></report>"
+)
+TIERS = [
+    TierSpec("public", allow=("/report/summary",)),
+    TierSpec("internal", allow=("/report",)),
+]
+
+
+def _build(community):
+    owner = community.enroll("owner")
+    community.enroll("alice", strict_memory=False)
+    community.enroll("bob", strict_memory=False)
+    community.enroll("late", strict_memory=False)
+    feed = community.feed("intel", owner=owner, tiers=TIERS)
+    feed.publish(REPORT, doc_id="rpt")
+    return feed
+
+
+def test_catch_up_view_is_byte_identical_to_live_cycle():
+    """The differential contract: a late joiner who replays the
+    snapshot sees EXACTLY what a member who listened live saw."""
+    community = Community()
+    feed = _build(community)
+    live = feed.subscribe("alice", "internal")
+    feed.subscribe("late", "internal")  # joined, but missed the cycle
+    feed.broadcast()
+    live.require_ok()
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert caught.view == live.view
+    assert caught.docs_complete == live.docs_complete == 1
+
+
+def test_catch_up_per_tier_views_differ():
+    community = Community()
+    feed = _build(community)
+    pub = feed.subscribe("alice", "public")
+    feed.subscribe("bob", "internal")
+    feed.subscribe("late", "public")
+    feed.broadcast()
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert caught.view == pub.view == "<report><summary>sum</summary></report>"
+    internal = feed.catch_up("bob")
+    internal.require_ok()
+    assert "<secret>classified</secret>" in internal.view
+
+
+def test_catch_up_before_any_broadcast_synthesizes_from_store():
+    """A live feed can serve catch-up even if no cycle ever ran: the
+    snapshot is rebuilt from the stored corpus on demand."""
+    community = Community()
+    feed = _build(community)
+    feed.subscribe("late", "internal")
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert "<secret>classified</secret>" in caught.view
+
+
+def test_catch_up_is_one_shot_and_detached():
+    """The catch-up handle never attaches to the live lane -- a member
+    holding both a live and a catch-up handle must not run two card
+    sessions during the next cycle."""
+    community = Community()
+    feed = _build(community)
+    live = feed.subscribe("alice", "internal")
+    feed.broadcast()
+    caught = feed.catch_up("alice")
+    frozen = caught.view
+    feed.broadcast(cycles=2)
+    assert caught.view == frozen
+    live.require_ok()
+    assert feed.handles("internal") == [live]
+
+
+def test_republish_invalidates_snapshot():
+    community = Community()
+    feed = _build(community)
+    feed.subscribe("late", "internal")
+    feed.broadcast()
+    feed.publish(
+        "<report><summary>v2</summary><body>b2</body></report>",
+        doc_id="rpt",
+    )  # republish WITHOUT a new broadcast
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert "v2" in caught.view
+    assert "classified" not in caught.view
+
+
+def test_revocation_invalidates_snapshot_for_remaining_members():
+    """After a tier revoke the old snapshot (old epoch) must never be
+    served: the surviving member's catch-up is rebuilt under the new
+    epoch."""
+    community = Community()
+    feed = _build(community)
+    feed.subscribe("alice", "internal")
+    feed.subscribe("bob", "internal")
+    feed.broadcast()
+    feed.revoke("bob")
+    caught = feed.catch_up("alice")
+    caught.require_ok()
+    assert "<secret>classified</secret>" in caught.view
+    assert feed.epoch("internal") == 2
+
+
+def test_durable_reopen_serves_catch_up(tmp_path):
+    path = tmp_path / "community.db"
+    community = Community(store_path=path)
+    feed = _build(community)
+    live = feed.subscribe("late", "internal")
+    feed.broadcast()
+    live.require_ok()
+    live_view = live.view
+    community.close()
+
+    reopened = Community.open(path)
+    restored = reopened.feed("intel")
+    assert restored.sealed
+    assert [spec.name for spec in restored.tiers] == ["public", "internal"]
+    assert [doc.doc_id for doc in restored.documents] == ["rpt"]
+    caught = restored.catch_up("late")
+    caught.require_ok()
+    assert caught.view == live_view
+    assert restored.epoch("internal") == 1
+    reopened.close()
+
+
+def test_sealed_feed_refuses_owner_operations(tmp_path):
+    path = tmp_path / "community.db"
+    community = Community(store_path=path)
+    feed = _build(community)
+    feed.broadcast()
+    community.close()
+
+    reopened = Community.open(path)
+    restored = reopened.feed("intel")
+    with pytest.raises(PolicyError, match="sealed"):
+        restored.publish("<r>x</r>")
+    with pytest.raises(PolicyError, match="sealed"):
+        restored.subscribe("late", "internal")
+    with pytest.raises(PolicyError, match="sealed"):
+        restored.broadcast()
+    with pytest.raises(PolicyError, match="sealed"):
+        restored.revoke("late")
+    with pytest.raises(PolicyError, match="sealed"):
+        restored.preview()
+    reopened.close()
+
+
+def test_sealed_feed_with_stale_snapshot_raises(tmp_path):
+    """A republish after the last broadcast makes the persisted cycle
+    stale; a sealed handle cannot rebuild it and must say so rather
+    than serve old bytes."""
+    path = tmp_path / "community.db"
+    community = Community(store_path=path)
+    feed = _build(community)
+    feed.subscribe("late", "internal")
+    feed.broadcast()
+    feed.publish(
+        "<report><summary>v2</summary><body>b2</body></report>",
+        doc_id="rpt",
+    )  # no rebroadcast
+    community.close()
+
+    reopened = Community.open(path)
+    with pytest.raises(PolicyError, match="is stale"):
+        reopened.feed("intel").catch_up("late")
+    reopened.close()
+
+
+def test_sealed_feed_never_broadcast_raises(tmp_path):
+    path = tmp_path / "community.db"
+    community = Community(store_path=path)
+    feed = _build(community)
+    feed.subscribe("late", "internal")
+    community.close()
+
+    reopened = Community.open(path)
+    with pytest.raises(PolicyError, match="never recorded"):
+        reopened.feed("intel").catch_up("late")
+    reopened.close()
+
+
+def test_memory_backend_catches_up_without_persistence():
+    """The in-memory store has no snapshot table; live feeds rebuild
+    from the corpus so catch-up still works."""
+    community = Community()
+    feed = _build(community)
+    feed.subscribe("late", "public")
+    feed.broadcast()
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert caught.view == "<report><summary>sum</summary></report>"
+
+
+# -- snapshot codec -------------------------------------------------------
+
+
+def _snapshot():
+    return CycleSnapshot(
+        feed="intel",
+        tier="internal",
+        epoch=3,
+        generation=17,
+        docs=(("rpt", 2, 1), ("memo", 1, 1)),
+        frames=(
+            ("header", 0, b"\x00\x01header"),
+            ("chunk", 0, b"chunk-zero"),
+            ("chunk", 1, b""),
+            ("end", 0, b""),
+        ),
+    )
+
+
+def test_snapshot_codec_roundtrip():
+    snapshot = _snapshot()
+    assert decode_snapshot(encode_snapshot(snapshot)) == snapshot
+
+
+def test_snapshot_codec_rejects_corruption():
+    blob = encode_snapshot(_snapshot())
+    with pytest.raises(TamperDetected):
+        decode_snapshot(blob[:-3])  # truncated
+    with pytest.raises(TamperDetected):
+        decode_snapshot(b"XXXXXX\n" + blob[7:])  # bad magic
+    with pytest.raises(TamperDetected):
+        decode_snapshot(blob + b"\x00")  # trailing bytes
+
+
+def test_sharded_backend_snapshots_live_on_shard_zero(tmp_path):
+    backend = ShardedBackend.sqlite(tmp_path / "dsp.db", shards=4)
+    try:
+        assert backend.get_feed_snapshot("intel", "public") is None
+        backend.put_feed_snapshot("intel", "public", b"blob", epoch=2)
+        assert backend.get_feed_snapshot("intel", "public") == b"blob"
+        assert backend.delete_feed_snapshot("intel", "public") is True
+        assert backend.delete_feed_snapshot("intel", "public") is False
+    finally:
+        backend.close()
+
+
+def test_sharded_memory_backend_refuses_snapshot_persistence():
+    backend = ShardedBackend.memory(shards=4)
+    with pytest.raises(PolicyError, match="durable shard 0"):
+        backend.put_feed_snapshot("intel", "public", b"blob")
+    assert backend.get_feed_snapshot("intel", "public") is None
+    assert backend.delete_feed_snapshot("intel", "public") is False

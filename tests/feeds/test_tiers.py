@@ -1,0 +1,72 @@
+"""Tier templates: validation, group naming, rule composition."""
+
+import pytest
+
+from repro.core.rules import Sign
+from repro.errors import PolicyError
+from repro.feeds import TierSpec, compose_rules
+
+
+def test_group_subject_is_feed_scoped():
+    spec = TierSpec("partner", allow=("/r",))
+    assert spec.group("intel") == "feed:intel:partner"
+    assert spec.group("other") == "feed:other:partner"
+
+
+def test_rules_compose_in_declaration_order_with_stable_ids():
+    tiers = [
+        TierSpec("public", allow=("/r/s",)),
+        TierSpec("partner", allow=("/r",), deny=("/r/b/x",), drop=("secret",)),
+    ]
+    rules = compose_rules("intel", tiers)
+    listed = list(rules)
+    assert [rule.rule_id for rule in listed] == [
+        "F:intel:public:0",
+        "F:intel:partner:0",
+        "F:intel:partner:1",
+        "F:intel:partner:2",
+    ]
+    assert [rule.subject for rule in listed] == [
+        "feed:intel:public",
+        "feed:intel:partner",
+        "feed:intel:partner",
+        "feed:intel:partner",
+    ]
+    # Composition is deterministic: same tiers, same fingerprint (so
+    # the compiled-policy cache hits across republishes).
+    again = compose_rules("intel", tiers)
+    assert again.fingerprint() == rules.fingerprint()
+
+
+def test_drop_entries_compile_to_deny_rules():
+    spec = TierSpec("partner", allow=("/r",), drop=("secret", "/r/b/note"))
+    rules = spec.rules_for("intel")
+    drops = [rule for rule in rules if rule.sign is Sign.DENY]
+    assert [str(rule.object) for rule in drops] == ["//secret", "/r/b/note"]
+
+
+def test_string_convenience_coerces_to_tuples():
+    spec = TierSpec("public", allow="/r/s", deny="/r/x", drop="secret")
+    assert spec.allow == ("/r/s",)
+    assert spec.deny == ("/r/x",)
+    assert spec.drop == ("secret",)
+
+
+@pytest.mark.parametrize("bad", ["", "a:b"])
+def test_tier_names_must_be_colon_free(bad):
+    with pytest.raises(PolicyError):
+        TierSpec(bad, allow=("/r",))
+
+
+def test_quota_must_be_positive():
+    with pytest.raises(PolicyError):
+        TierSpec("public", allow=("/r",), quota=0)
+    assert TierSpec("public", allow=("/r",), quota=1).quota == 1
+
+
+def test_duplicate_tier_names_refused():
+    with pytest.raises(PolicyError):
+        compose_rules(
+            "intel",
+            [TierSpec("public", allow=("/r",)), TierSpec("public", allow=("/r",))],
+        )
