@@ -635,16 +635,15 @@ class ShardedBackend:
 
         Snapshots are feed-keyed, not document-keyed, so the crc32
         document routing does not apply; like the deployment manifest
-        they live on the durable shard 0.
+        they live on the durable shard 0.  On a volatile shard 0
+        (``ShardedBackend.memory``) this is a silent no-op, matching
+        ``get``/``delete`` -- snapshots are a durability optimization,
+        and a live feed rebuilds catch-up cycles from the stored
+        corpus anyway.
         """
         shard = self.shards[0]
         if isinstance(shard, SQLiteBackend):
             shard.put_feed_snapshot(feed, tier, blob, epoch=epoch)
-        else:
-            raise PolicyError(
-                "feed snapshot storage needs a durable shard 0 "
-                "(ShardedBackend.sqlite)"
-            )
 
     def get_feed_snapshot(self, feed: str, tier: str) -> bytes | None:
         shard = self.shards[0]

@@ -10,6 +10,8 @@ byte the historical behavior) or the durable
 
 from __future__ import annotations
 
+import os
+
 from repro.crypto.container import DocumentContainer
 from repro.dsp.backends import MemoryBackend, StoreBackend, StoredDocument
 
@@ -29,6 +31,13 @@ class DSPStore:
         #: write completes, so data observed under generation ``g`` is
         #: never newer than ``g`` says.
         self.generation = 0
+        #: Random per-process nonce qualifying :attr:`generation`.  The
+        #: counter restarts at 0 in every process, so a generation
+        #: persisted by a previous process can coincidentally equal the
+        #: current counter; anything caching against the generation
+        #: across process boundaries (feed catch-up snapshots) must
+        #: also match the boot id, else fall back to piecewise checks.
+        self.boot = os.urandom(8).hex()
 
     def put_document(
         self,

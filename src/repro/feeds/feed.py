@@ -309,10 +309,19 @@ class Feed:
         """
         self._require_live("previews")
         views: dict[str, list[str]] = {tier: [] for tier in self._tiers}
-        subjects = [
-            Subject(tier_prefix(self.name, tier)) for tier in self._tiers
-        ]
+        carried: dict[str, set[str]] = {
+            tier: {doc.doc_id for doc in self.broadcast_list(tier)}
+            for tier in self._tiers
+        }
+        publisher = next(iter(self._tiers.values())).publisher
         for document in self._docs:
+            lanes = [
+                tier
+                for tier in self._tiers
+                if document.doc_id in carried[tier]
+            ]
+            if not lanes:
+                continue  # quota-excluded everywhere: no lane to fill
             events = document.events
             rules = document.rules
             if events is None or rules is None:
@@ -321,12 +330,15 @@ class Feed:
                     "feed previews need the owner's plaintext",
                     doc_id=document.doc_id,
                 )
-            passes = next(iter(self._tiers.values())).publisher.preview_views(
-                events, rules, subjects, default=Sign.DENY, mode=mode
+            passes = publisher.preview_views(
+                events,
+                rules,
+                [Subject(tier_prefix(self.name, tier)) for tier in lanes],
+                default=Sign.DENY,
+                mode=mode,
             )
-            for tier in self._tiers:
-                if document in self.broadcast_list(tier):
-                    views[tier].append(passes[tier_prefix(self.name, tier)])
+            for tier in lanes:
+                views[tier].append(passes[tier_prefix(self.name, tier)])
         return {tier: "".join(parts) for tier, parts in views.items()}
 
     # -- membership -------------------------------------------------------
@@ -400,7 +412,15 @@ class Feed:
 
         Like flat-channel revocation this is *soft* against a member
         whose terminal already resolved the tier keys (the paper's
-        model); durable exclusion pairs this with a policy update.
+        model) -- and note the epoch bump rotates only the *wrapping*
+        of ``C_tier``, never ``C_tier`` itself: a revoked member who
+        retained a :class:`~repro.feeds.keys.ResolvedTierKeys` handle
+        can keep unwrapping document secrets, **including documents
+        published after the revocation**, until the tier is re-keyed.
+        The epoch machinery cuts off the DSP *fetch* path, not
+        already-resolved keys; durable exclusion pairs this with a
+        policy update (the cards enforce rules regardless of keys) or
+        a tier re-key.
         """
         self._require_live("revocation")
         name = member if isinstance(member, str) else member.name
@@ -532,6 +552,7 @@ class Feed:
             tier=tier,
             epoch=self.epoch(tier),
             generation=store.generation,
+            boot=store.boot,
             docs=tuple(docs),
             frames=tuple(frames),
         )
@@ -555,11 +576,17 @@ class Feed:
         self, snapshot: CycleSnapshot, tier: str, expected_epoch: int
     ) -> bool:
         store = self._store()
-        if snapshot.generation == store.generation:
+        if (
+            snapshot.boot == store.boot
+            and snapshot.generation == store.generation
+        ):
             # PR-5 contract: an unchanged generation proves NOTHING at
             # the store moved since the snapshot -- fresh, zero reads.
-            # (The counter is process-lifetime, so a reopened process
-            # falls through to the piecewise stamps below.)
+            # The generation counter is process-lifetime (restarts at
+            # 0), so the fast path also demands the recording store's
+            # boot nonce: a snapshot from a previous process can never
+            # short-circuit on a coincidentally-equal counter and must
+            # pass the piecewise stamps below.
             return snapshot.epoch == expected_epoch
         if snapshot.epoch != expected_epoch:
             return False  # a revocation moved the tier epoch

@@ -24,7 +24,15 @@ Revocation is *soft*, exactly like the flat model's documented
 semantics: a member whose terminal already resolved the tier keys
 retains them (the paper's dissociation of rights from encryption --
 durable exclusion pairs revocation with a policy update or a tier
-re-key).
+re-key).  Be explicit about what the epoch bump does **not** buy:
+``C_tier`` itself never rotates, so a revoked member holding a
+:class:`ResolvedTierKeys` can unwrap the secrets of documents
+published *after* the revocation too -- the bump only closes the DSP
+fetch path (``resolve_tier_keys`` fails) for members without cached
+keys.  Forward secrecy against a key-retaining member requires
+rotating ``C_tier`` (a re-wrap per existing document), which this
+hierarchy deliberately trades away to keep revocation at exactly one
+wrap.
 
 All feed-level blobs ride the existing ``wrapped_keys`` table, anchored
 on a synthetic manifest document (:func:`feed_doc_id`), so no store

@@ -3,13 +3,16 @@
 A :class:`CycleSnapshot` is one tier's complete broadcast cycle -- the
 exact ``(kind, index, payload)`` frames the channel carried -- plus the
 stamps needed to prove it is still current: the tier epoch, the store
-generation observed when it was recorded, and each document's
-(container version, rules version) pair.
+generation (and the store's per-process boot id) observed when it was
+recorded, and each document's (container version, rules version) pair.
 
-Validity follows the PR-5 invalidation contract: if the store's
+Validity follows the PR-5 invalidation contract: if the snapshot was
+recorded by *this* process's store (boot ids match) and the store's
 generation still equals the stamp, *nothing* at the DSP changed and
-the snapshot is fresh with zero further reads.  Otherwise the stamps
-are re-checked piecewise -- a republish moves a container version, a
+the snapshot is fresh with zero further reads.  The generation counter
+restarts at 0 in every process, so the boot id is what keeps a
+reopened process from trusting a coincidentally-equal counter; without
+a boot match the stamps are re-checked piecewise -- a republish moves a container version, a
 policy update moves a rules version, a tier revocation moves the epoch
 -- and any mismatch makes the snapshot stale.  A live feed re-records
 a stale snapshot from the store; a sealed (reopened) feed reports it,
@@ -28,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.errors import TamperDetected
 
-_MAGIC = b"FSNAP1\n"
+_MAGIC = b"FSNAP2\n"
 _KINDS = ("header", "chunk", "end")
 
 
@@ -40,6 +43,10 @@ class CycleSnapshot:
     tier: str
     epoch: int
     generation: int
+    #: The recording store's per-process boot id
+    #: (:attr:`repro.dsp.store.DSPStore.boot`); the generation stamp is
+    #: only meaningful against the same boot.
+    boot: str
     #: ``(doc_id, container_version, rules_version)`` per document, in
     #: broadcast order.
     docs: tuple[tuple[str, int, int], ...]
@@ -50,7 +57,7 @@ class CycleSnapshot:
 def encode_snapshot(snapshot: CycleSnapshot) -> bytes:
     """Serialize a snapshot to the backend's blob format."""
     parts: list[bytes] = [_MAGIC]
-    for label in (snapshot.feed, snapshot.tier):
+    for label in (snapshot.feed, snapshot.tier, snapshot.boot):
         raw = label.encode("utf-8")
         parts.append(struct.pack(">H", len(raw)) + raw)
     parts.append(struct.pack(">QQ", snapshot.epoch, snapshot.generation))
@@ -107,6 +114,7 @@ def decode_snapshot(blob: bytes) -> CycleSnapshot:
         raise TamperDetected("feed snapshot blob has a bad magic prefix")
     feed = reader.label()
     tier = reader.label()
+    boot = reader.label()
     epoch, generation = reader.unpack(">QQ")
     (doc_count,) = reader.unpack(">H")
     docs: list[tuple[str, int, int]] = []
@@ -133,6 +141,7 @@ def decode_snapshot(blob: bytes) -> CycleSnapshot:
         tier=tier,
         epoch=epoch,
         generation=generation,
+        boot=boot,
         docs=tuple(docs),
         frames=tuple(frames),
     )

@@ -214,6 +214,7 @@ def _snapshot():
         tier="internal",
         epoch=3,
         generation=17,
+        boot="deadbeefcafef00d",
         docs=(("rpt", 2, 1), ("memo", 1, 1)),
         frames=(
             ("header", 0, b"\x00\x01header"),
@@ -251,9 +252,55 @@ def test_sharded_backend_snapshots_live_on_shard_zero(tmp_path):
         backend.close()
 
 
-def test_sharded_memory_backend_refuses_snapshot_persistence():
+def test_sharded_memory_backend_degrades_snapshot_persistence():
+    """A volatile shard 0 cannot persist snapshots; put must be a
+    silent no-op (matching get/delete), never an error -- broadcast's
+    contract is 'persisted when the store is durable'."""
     backend = ShardedBackend.memory(shards=4)
-    with pytest.raises(PolicyError, match="durable shard 0"):
-        backend.put_feed_snapshot("intel", "public", b"blob")
+    backend.put_feed_snapshot("intel", "public", b"blob")
     assert backend.get_feed_snapshot("intel", "public") is None
     assert backend.delete_feed_snapshot("intel", "public") is False
+
+
+def test_feed_broadcast_works_on_sharded_memory_backend():
+    """Regression: broadcast() on a ShardedBackend.memory community
+    must not crash on snapshot persistence; catch-up still works by
+    rebuilding the cycle from the stored corpus."""
+    community = Community(backend=ShardedBackend.memory(shards=2))
+    feed = _build(community)
+    live = feed.subscribe("alice", "internal")
+    feed.subscribe("late", "internal")
+    feed.broadcast()
+    live.require_ok()
+    caught = feed.catch_up("late")
+    caught.require_ok()
+    assert caught.view == live.view
+
+
+def test_reopened_process_generation_coincidence_is_not_trusted(tmp_path):
+    """The store's generation counter restarts at 0 per process, so a
+    reopened process can coincidentally reach the counter a persisted
+    snapshot was stamped with; the boot id must keep that from
+    short-circuiting the piecewise staleness checks."""
+    path = tmp_path / "community.db"
+    community = Community(store_path=path)
+    feed = _build(community)
+    feed.subscribe("late", "internal")
+    feed.broadcast()
+    blob = community.store.backend.get_feed_snapshot("intel", "internal")
+    stamped = decode_snapshot(blob).generation
+    feed.publish(
+        "<report><summary>v2</summary><body>b2</body></report>",
+        doc_id="rpt",
+    )  # stale now: republish without a rebroadcast
+    community.close()
+
+    reopened = Community.open(path)
+    store = reopened.store
+    assert store.generation < stamped
+    while store.generation < stamped:
+        store.put_wrapped_key("rpt", f"pump:{store.generation}", b"\x00")
+    assert store.generation == stamped  # the coincidence under test
+    with pytest.raises(PolicyError, match="is stale"):
+        reopened.feed("intel").catch_up("late")
+    reopened.close()
