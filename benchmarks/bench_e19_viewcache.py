@@ -1,0 +1,359 @@
+"""E19 -- terminal view cache: warm sessions for one probe, zero card time.
+
+The terminal legitimately holds a member's plaintext authorized view
+after a pull, so a warm repeat of the same query should cost exactly
+one tiny ``GET_META`` round trip -- not one DSP request per chunk and
+not a single smart-card cycle.  The scale phase pulls the hospital
+corpus cold and warm at several sizes and reports the *exact* request
+counts (the ``--check`` gate requires the warm count to be exactly 1
+and at least 90% below cold), the bytes moved, and the card cycles
+(which must be exactly zero on a hit).  Every cached answer is
+byte-compared against a pristine cache-less pull of the same query --
+the savings can never come from serving different bytes.
+
+The semantic phase answers *narrower* queries by XPath containment
+from the cached full view (Miklau & Suciu), again card-free and again
+byte-identical to a fresh pull of the narrow query.  The security
+phase is the differential that justifies the probe: a cache-less warm
+session keeps serving after key revocation (the card retains its
+provisioned key), while the cached session's freshness probe notices
+the missing wrapped key and refuses immediately; a republish is
+likewise caught by the probe and repulled.
+
+Usage::
+
+    python benchmarks/bench_e19_viewcache.py               # full matrix
+    python benchmarks/bench_e19_viewcache.py --quick       # CI subset
+    python benchmarks/bench_e19_viewcache.py --json out.json
+    python benchmarks/bench_e19_viewcache.py --quick --check
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from _common import emit
+
+from repro.community import Community
+from repro.errors import KeyNotGranted
+from repro.workloads.docgen import hospital
+from repro.workloads.rulegen import hospital_rules
+from repro.xmlstream.tree import tree_to_events
+
+DOC_ID = "ward"
+SUBJECT = "doctor"
+
+SIZES_FULL = (2, 4, 8, 16)
+SIZES_QUICK = (2, 4)
+NARROW_QUERIES = ("/hospital/ward", "//patient/name", "//episode")
+
+
+def _corpus(n_patients: int):
+    return list(tree_to_events(hospital(n_patients=n_patients)))
+
+
+def _publish(community: Community, events):
+    owner = community.enroll("owner")
+    doctor = community.enroll(SUBJECT)
+    document = owner.publish(
+        events, hospital_rules(), to=[doctor], doc_id=DOC_ID
+    )
+    return doctor, document
+
+
+def _fresh_pull(events, query=None) -> str:
+    """The same query in a pristine cache-less world: the parity oracle."""
+    community = Community()
+    doctor, document = _publish(community, events)
+    try:
+        with doctor.open(document) as session:
+            return session.query(query).text()
+    finally:
+        community.close()
+
+
+def _measure_size(n_patients: int) -> dict:
+    events = _corpus(n_patients)
+    community = Community()
+    doctor, document = _publish(community, events)
+    community.enable_view_cache()
+    try:
+        with doctor.open(document) as session:
+            started = time.perf_counter()
+            cold = session.query()
+            cold_text = cold.text()
+            cold_s = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = session.query()
+            warm_text = warm.text()
+            warm_s = time.perf_counter() - started
+    finally:
+        community.close()
+    cold_requests = cold.metrics.dsp_requests
+    warm_requests = warm.metrics.dsp_requests
+    return {
+        "patients": n_patients,
+        "cold_dsp_requests": cold_requests,
+        "warm_dsp_requests": warm_requests,
+        "request_reduction_pct": (
+            100.0 * (cold_requests - warm_requests) / cold_requests
+            if cold_requests
+            else 0.0
+        ),
+        "cold_bytes_from_dsp": cold.metrics.bytes_from_dsp,
+        "warm_bytes_from_dsp": warm.metrics.bytes_from_dsp,
+        "cold_card_cycles": cold.metrics.card_cycles,
+        "warm_card_cycles": warm.metrics.card_cycles,
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "warm_is_exact_hit": warm.metrics.cache_hit == 1,
+        "bytes_identical": warm_text == cold_text,
+        "matches_fresh_pull": warm_text == _fresh_pull(events),
+    }
+
+
+def measure_scale(quick: bool = False) -> list[dict]:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    return [_measure_size(n) for n in sizes]
+
+
+def measure_semantic(quick: bool = False) -> list[dict]:
+    """Narrow queries answered by containment from the cached full view."""
+    events = _corpus(SIZES_QUICK[-1] if quick else SIZES_FULL[-1])
+    community = Community()
+    doctor, document = _publish(community, events)
+    community.enable_view_cache()
+    results = []
+    try:
+        with doctor.open(document) as session:
+            session.query().text()  # donor: the full authorized view
+            for query in NARROW_QUERIES:
+                stream = session.query(query)
+                text = stream.text()
+                results.append({
+                    "query": query,
+                    "dsp_requests": stream.metrics.dsp_requests,
+                    "card_cycles": stream.metrics.card_cycles,
+                    "semantic_hit": stream.metrics.cache_semantic_hit == 1,
+                    "matches_fresh_pull": text == _fresh_pull(events, query),
+                })
+    finally:
+        community.close()
+    return results
+
+
+def measure_security() -> dict:
+    """The revocation differential plus republish detection."""
+    events = _corpus(SIZES_QUICK[0])
+    # Cache-less baseline: a warm session KEEPS serving after key
+    # revocation, because the card retains its provisioned key.
+    plain = Community()
+    doctor, document = _publish(plain, events)
+    try:
+        with doctor.open(document) as session:
+            session.query().text()
+            document.revoke(plain.member(SUBJECT))
+            cacheless_served = bool(session.query().text())
+    finally:
+        plain.close()
+    # Cached: the freshness probe sees the missing wrapped key and
+    # refuses on the very next query -- zero serves of any kind.
+    cached = Community()
+    doctor, document = _publish(cached, events)
+    cache = cached.enable_view_cache()
+    try:
+        with doctor.open(document) as session:
+            session.query().text()
+            hits_before = cache.stats.hits
+            document.revoke(cached.member(SUBJECT))
+            try:
+                session.query().text()
+                cached_refused = False
+            except KeyNotGranted:
+                cached_refused = True
+            revocation = {
+                "cacheless_served_after_revoke": cacheless_served,
+                "cached_refused_after_revoke": cached_refused,
+                "serves_after_revoke": cache.stats.hits - hits_before,
+                "refusals": cache.stats.revocation_refusals,
+                "entries_left": len(cache),
+            }
+    finally:
+        cached.close()
+    # Republish: the probe detects the version bump and repulls.
+    fresh_events = list(
+        tree_to_events(hospital(n_patients=SIZES_QUICK[0], seed=11))
+    )
+    world = Community()
+    doctor, document = _publish(world, events)
+    world.enable_view_cache()
+    try:
+        with doctor.open(document) as session:
+            stale_text = session.query().text()
+            world.member("owner").publish(
+                fresh_events,
+                hospital_rules(),
+                to=[doctor],
+                doc_id=DOC_ID,
+            )
+            stream = session.query()
+            fresh_text = stream.text()
+            republish = {
+                "repulled": stream.metrics.cache_hit == 0
+                and stream.metrics.dsp_requests > 1,
+                "stale_bytes_served": fresh_text == stale_text,
+                "matches_fresh_pull": fresh_text == _fresh_pull(fresh_events),
+            }
+    finally:
+        world.close()
+    return {"revocation": revocation, "republish": republish}
+
+
+def measure_all(quick: bool = False) -> dict:
+    return {
+        "experiment": "E19",
+        "suite": "quick" if quick else "full",
+        "scale": measure_scale(quick=quick),
+        "semantic": measure_semantic(quick=quick),
+        "security": measure_security(),
+    }
+
+
+_TITLE = "E19: terminal view cache (cold vs warm pull cost)"
+_HEADERS = [
+    "patients", "cold reqs", "warm reqs", "reduction %",
+    "cold B", "warm B", "warm card cycles", "parity",
+]
+
+
+def _table(result: dict):
+    rows = []
+    for stats in result["scale"]:
+        rows.append([
+            stats["patients"],
+            stats["cold_dsp_requests"],
+            stats["warm_dsp_requests"],
+            stats["request_reduction_pct"],
+            stats["cold_bytes_from_dsp"],
+            stats["warm_bytes_from_dsp"],
+            stats["warm_card_cycles"],
+            "ok" if stats["matches_fresh_pull"] else "DIVERGED",
+        ])
+    for stats in result["semantic"]:
+        rows.append([
+            stats["query"],
+            "",
+            stats["dsp_requests"],
+            "",
+            "",
+            "",
+            stats["card_cycles"],
+            "ok" if stats["matches_fresh_pull"] else "DIVERGED",
+        ])
+    security = result["security"]
+    rows.append([
+        "revocation", "", "", "", "", "",
+        f"serves: {security['revocation']['serves_after_revoke']}",
+        "refused"
+        if security["revocation"]["cached_refused_after_revoke"]
+        else "SERVED",
+    ])
+    rows.append([
+        "republish", "", "", "", "", "", "",
+        "repulled" if security["republish"]["repulled"] else "STALE",
+    ])
+    return _TITLE, _HEADERS, rows
+
+
+def run_experiment(quick: bool = False):
+    return _table(measure_all(quick=quick))
+
+
+def check(result: dict) -> int:
+    """CI / acceptance gate: exact counts, parity, and the differential."""
+    checks = []
+    for stats in result["scale"]:
+        n = stats["patients"]
+        cold, warm = stats["cold_dsp_requests"], stats["warm_dsp_requests"]
+        checks.extend([
+            (f"warm pull is exactly one probe at {n}", warm == 1,
+             f"{warm} request(s)"),
+            (f"warm saves >=90% of DSP requests at {n}",
+             stats["request_reduction_pct"] >= 90.0,
+             f"{cold} cold -> {warm} warm "
+             f"({stats['request_reduction_pct']:.1f}%, floor 90%)"),
+            (f"warm pull is card-free at {n}",
+             stats["warm_card_cycles"] == 0.0,
+             f"{stats['warm_card_cycles']:.0f} cycles "
+             f"(cold: {stats['cold_card_cycles']:.0f})"),
+            (f"warm bytes identical to cold and fresh at {n}",
+             stats["bytes_identical"] and stats["matches_fresh_pull"],
+             "byte parity"),
+            (f"warm answer is an exact cache hit at {n}",
+             stats["warm_is_exact_hit"], "cache_hit == 1"),
+        ])
+    for stats in result["semantic"]:
+        q = stats["query"]
+        checks.extend([
+            (f"semantic answer for {q} is one probe",
+             stats["semantic_hit"] and stats["dsp_requests"] == 1,
+             f"{stats['dsp_requests']} request(s)"),
+            (f"semantic answer for {q} is card-free",
+             stats["card_cycles"] == 0.0,
+             f"{stats['card_cycles']:.0f} cycles"),
+            (f"semantic answer for {q} matches a fresh pull",
+             stats["matches_fresh_pull"], "byte parity"),
+        ])
+    revocation = result["security"]["revocation"]
+    republish = result["security"]["republish"]
+    checks.extend([
+        ("cache-less warm session serves after revoke (the baseline)",
+         revocation["cacheless_served_after_revoke"],
+         "retained-copy behaviour confirmed"),
+        ("cached session refuses a revoked subject",
+         revocation["cached_refused_after_revoke"]
+         and revocation["serves_after_revoke"] == 0
+         and revocation["entries_left"] == 0,
+         f"{revocation['serves_after_revoke']} serves, "
+         f"{revocation['refusals']} refusal(s), "
+         f"{revocation['entries_left']} entries left"),
+        ("republish detected and repulled",
+         republish["repulled"]
+         and not republish["stale_bytes_served"]
+         and republish["matches_fresh_pull"],
+         "probe caught the version bump"),
+    ])
+    failures = 0
+    for name, passed, detail in checks:
+        print(f"{name}: {detail} -> {'ok' if passed else 'FAIL'}")
+        if not passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when a warm pull costs more than the single GET_META "
+        "probe, saves less than 90% of the cold request count, spends any "
+        "card cycles, diverges from a fresh pull byte-for-byte, or when a "
+        "revoked subject is served / a republish goes undetected",
+    )
+    args = parser.parse_args()
+    result = measure_all(quick=args.quick)
+    emit(*_table(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.check:
+        return check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import inspect
 import json
 import pathlib
 import sys
@@ -25,7 +26,12 @@ BENCH_DIR = pathlib.Path(__file__).parent
 MODULES = sorted(BENCH_DIR.glob("bench_e*.py"))
 
 #: Small, fast experiments exercised by CI's smoke run (--quick).
-QUICK = {"bench_e2_skip_benefit", "bench_e8_policy_churn", "bench_e12_compile_cache"}
+QUICK = {
+    "bench_e2_skip_benefit",
+    "bench_e8_policy_churn",
+    "bench_e12_compile_cache",
+    "bench_e19_viewcache",
+}
 
 
 def _select(quick: bool, only: str | None) -> list[pathlib.Path]:
@@ -89,6 +95,14 @@ def main() -> None:
     total_start = time.time()
     for path in _select(args.quick, args.only):
         module = _load(path)
+        # Newer experiments take a ``quick`` flag on run_experiment();
+        # forward --quick to them so the CI smoke run stays a smoke run.
+        run_kwargs = (
+            {"quick": True}
+            if args.quick
+            and "quick" in inspect.signature(module.run_experiment).parameters
+            else {}
+        )
         start = time.time()
         if args.profile:
             import cProfile
@@ -97,10 +111,13 @@ def main() -> None:
 
             from repro.core.product import dispatch_totals
 
+            from repro.cache.viewcache import cache_totals
+
             before = dispatch_totals()
+            cache_before = cache_totals()
             profiler = cProfile.Profile()
             profiler.enable()
-            title, headers, rows = module.run_experiment()
+            title, headers, rows = module.run_experiment(**run_kwargs)
             profiler.disable()
             stream = io.StringIO()
             pstats.Stats(profiler, stream=stream).sort_stats(
@@ -123,8 +140,22 @@ def main() -> None:
                     else " (product machine not engaged)"
                 )
             )
+            cache_after = cache_totals()
+            cache_deltas = {
+                key: cache_after[key] - cache_before[key]
+                for key in cache_after
+            }
+            if any(cache_deltas.values()):
+                summary = ", ".join(
+                    f"{count} {name}"
+                    for name, count in sorted(cache_deltas.items())
+                    if count
+                )
+                print(f"[{path.name}] view cache: {summary}")
+            else:
+                print(f"[{path.name}] view cache: not engaged")
         else:
-            title, headers, rows = module.run_experiment()
+            title, headers, rows = module.run_experiment(**run_kwargs)
         elapsed = time.time() - start
         print()
         print_table(title, headers, rows)

@@ -1,0 +1,28 @@
+"""The terminal's authorized-view cache.
+
+The paper's trust model already concedes that the terminal
+legitimately holds the plaintext *authorized view* once a session
+completes -- the card filtered it, the member was entitled to it.
+This package keeps those completed views around so a warm query on an
+unchanged document costs one tiny freshness probe (the ``GET_META``
+wire request) instead of a full chunk pull and a card pass:
+
+* :mod:`repro.cache.viewcache` -- the bounded (LRU + byte budget)
+  :class:`ViewCache` itself: version-keyed entries, probe-validated
+  freshness, and the hard security rule that a revoked subject is
+  never served from cache;
+* :mod:`repro.cache.semantic` -- containment-based semantic
+  answering: a query ``q`` subsumed by a cached query ``p`` (per
+  :func:`repro.xpathlib.containment.contains`) is answered by
+  re-evaluating ``q`` locally over the cached plaintext view -- zero
+  DSP chunk requests, zero card time.
+
+``community.Session.query`` consults the cache when the community
+enables it (``Community(view_cache=ViewCache())`` or
+``community.enable_view_cache()``); it is off by default so the
+simulated-clock parity suites keep their bit-for-bit baselines.
+"""
+
+from repro.cache.viewcache import CachedView, CacheKey, CacheStats, ViewCache
+
+__all__ = ["CacheKey", "CacheStats", "CachedView", "ViewCache"]

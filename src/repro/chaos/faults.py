@@ -31,6 +31,7 @@ from repro.chaos.plan import FaultPlan, FaultRule
 from repro.crypto.container import DocumentContainer, DocumentHeader
 from repro.dsp.backends import ShardedBackend, SQLiteBackend, StoreBackend, StoredDocument
 from repro.dsp.client import DSPClient
+from repro.dsp.wire import DocMeta
 from repro.errors import PolicyError, TransportError
 from repro.smartcard.apdu import CommandAPDU, ResponseAPDU, StatusWord
 from repro.smartcard.card import SmartCard
@@ -242,7 +243,8 @@ class FaultyClient:
 
     Sites ``client.get_header`` / ``client.get_chunk`` /
     ``client.get_chunk_range`` / ``client.get_rules`` /
-    ``client.get_wrapped_key`` honour ``"fail"`` (raises
+    ``client.get_wrapped_key`` / ``client.get_meta`` honour ``"fail"``
+    (raises
     :class:`InjectedFault` before the request leaves).  The ``before``
     hook -- called as ``before(site, index)`` ahead of every delegated
     request -- is how scenarios race a mutation (republish, revoke)
@@ -288,6 +290,10 @@ class FaultyClient:
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
         self._gate("client.get_wrapped_key")
         return self.inner.get_wrapped_key(doc_id, recipient)
+
+    def get_meta(self, doc_id: str, subject: str) -> DocMeta:
+        self._gate("client.get_meta")
+        return self.inner.get_meta(doc_id, subject)
 
 
 class FaultySocket:

@@ -577,6 +577,70 @@ def _pull_attached(attached: Community, document: object) -> str:
         return session.query().text()
 
 
+def _scenario_stale_cache(seed: int, fault: str) -> ScenarioResult:
+    """A republish racing a *warm* cached query on a reader terminal.
+
+    The terminal's view cache holds version 1; the republish lands
+    exactly as the warm query's ``GET_META`` freshness probe leaves.
+    The invariant: the raced query must deliver version 2's golden
+    bytes (the probe sees the new version, the stale entry is dropped
+    and repulled -- never the stale cached view, never a splice), and
+    the query after that replays version 2 from cache.
+    """
+    result = ScenarioResult("stale-cache", fault, seed, ok=False)
+    plan = FaultPlan(seed)
+    serving = build_world()
+    golden_old = golden_views(1)
+    golden_new = golden_views(2)
+    fired = {"done": False}
+
+    def racer(site: str, index: int) -> None:
+        # Probe 0 belongs to the cold, cache-populating pull; the
+        # republish lands just before probe 1 -- the warm query.
+        if site == "client.get_meta" and index == 1 and not fired["done"]:
+            fired["done"] = True
+            _republish(serving)
+
+    client = FaultyClient(LocalDSP(serving.dsp), plan, before=racer)
+    attached = Community.attach(client)
+    attached.enroll("doctor")
+    document = attached.adopt(DOC_ID, "owner")
+    cache = attached.enable_view_cache()
+    try:
+        cold = _pull_attached(attached, document)
+        if cold != golden_old["doctor"]:
+            result.detail = "cold pull was not version 1 golden"
+            return result
+        raced = _pull_attached(attached, document)
+        result.delivered = True
+        if raced == golden_old["doctor"]:
+            result.detail = "the raced warm query served the stale cache"
+            return result
+        if raced != golden_new["doctor"]:
+            result.detail = "the raced warm query delivered a splice"
+            return result
+        result.matched_golden = True
+        if not fired["done"]:
+            result.detail = "the race never fired"
+            return result
+        if cache.stats.invalidations < 1:
+            result.detail = "the stale entry was never invalidated"
+            return result
+        # Recovery: the next query replays version 2 from cache.
+        hits_before = cache.stats.hits
+        final = _pull_attached(attached, document)
+        result.ok = (
+            final == golden_new["doctor"]
+            and cache.stats.hits == hits_before + 1
+        )
+        if not result.ok:
+            result.detail = "post-race query did not hit on version 2"
+    finally:
+        result.fault_log = plan.describe()
+        serving.close()
+    return result
+
+
 def _scenario_remote_republish(seed: int, fault: str) -> ScenarioResult:
     """Reconnect-and-resume across a republish: the generation guard."""
     result = ScenarioResult("remote-republish", fault, seed, ok=False)
@@ -852,6 +916,7 @@ SCENARIOS: tuple[Scenario, ...] = (
         _scenario_feed_revoke,
     ),
     Scenario("republish-race", ("race",), ("race",), _scenario_republish_race),
+    Scenario("stale-cache", ("race",), ("race",), _scenario_stale_cache),
     Scenario(
         "remote-republish",
         ("reconnect-race",),

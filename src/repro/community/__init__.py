@@ -38,6 +38,7 @@ pulled from the DSP, and whose refetched subtrees settle by document
 position.  Failures raise the :mod:`repro.errors` taxonomy.
 """
 
+from repro.cache.viewcache import ViewCache
 from repro.community.channels import Channel, SubscriberHandle
 from repro.community.facade import Community, Document, Member
 from repro.community.session import Session, ViewStream
@@ -54,6 +55,7 @@ __all__ = [
     "Session",
     "SubscriberHandle",
     "TierSpec",
+    "ViewCache",
     "ViewPiece",
     "ViewStream",
 ]

@@ -47,6 +47,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Sequence, Union
 
+from repro.cache.viewcache import ViewCache
 from repro.community.channels import Channel
 from repro.community.session import Session
 from repro.core.compiled import PolicyRegistry
@@ -135,6 +136,7 @@ class Community:
         store_path: "str | Path | None" = None,
         backend: StoreBackend | None = None,
         client: DSPClient | None = None,
+        view_cache: ViewCache | None = None,
     ) -> None:
         given = [
             name
@@ -174,6 +176,13 @@ class Community:
             self.clock = clock if clock is not None else SimClock()
             self.dsp = DSPServer(store, network=network, clock=self.clock)
         self.pki = SimulatedPKI()
+        #: The terminal-side authorized-view cache, OFF by default --
+        #: warm sessions then cost one ``GET_META`` probe instead of a
+        #: full pull, but the simulated clocks gain that probe, so the
+        #: bit-for-bit parity baselines keep it disabled.  Enable with
+        #: ``Community(view_cache=ViewCache())`` or
+        #: :meth:`enable_view_cache`.
+        self.view_cache = view_cache
         self.registry = registry if registry is not None else PolicyRegistry()
         self._members: dict[str, Member] = {}
         self._documents: dict[str, Document] = {}
@@ -338,6 +347,49 @@ class Community:
             )
         self._servers.append(endpoint)
         return endpoint
+
+    def enable_view_cache(
+        self,
+        cache: ViewCache | None = None,
+        *,
+        max_entries: int = 256,
+        max_bytes: int = 16 << 20,
+    ) -> ViewCache:
+        """Turn on the terminal-side authorized-view cache.
+
+        Every subsequent ``session.query`` starts with one tiny
+        ``GET_META`` freshness probe: unchanged documents replay their
+        cached view (zero chunk requests, zero card time), a version or
+        rules bump falls through to a live pull, and a revoked subject
+        is refused with :class:`~repro.errors.KeyNotGranted` -- never
+        served from cache or from the card's retained copy.  Returns
+        the active cache (its ``stats`` carry hit/miss/invalidation
+        counters).
+        """
+        if self.view_cache is None:
+            self.view_cache = (
+                cache
+                if cache is not None
+                else ViewCache(max_entries=max_entries, max_bytes=max_bytes)
+            )
+        elif cache is not None and cache is not self.view_cache:
+            raise PolicyError(
+                "a view cache is already enabled on this community"
+            )
+        return self.view_cache
+
+    def _invalidate_views(self, doc_id: str) -> None:
+        """Owner-side eviction on republish / rules change.
+
+        Defense in depth: the freshness probe would catch the staleness
+        anyway, but local mutations may as well free the bytes now.
+        """
+        if self.view_cache is not None:
+            self.view_cache.invalidate_document(doc_id)
+
+    def _invalidate_subject_views(self, doc_id: str, subject: str) -> None:
+        if self.view_cache is not None:
+            self.view_cache.invalidate_subject(doc_id, subject)
 
     def close(self) -> None:
         """Shut down served endpoints and the durable store (idempotent)."""
@@ -664,6 +716,7 @@ class Member:
         )
         if existing is not None:
             existing._update(events, ruleset, recipients, receipt)
+            community._invalidate_views(doc_id)
             community._save_manifest()
             return existing
         document = Document(self, doc_id, events, ruleset, recipients, receipt)
@@ -782,6 +835,7 @@ class Document:
         receipt = self.owner.publisher.update_rules(self.doc_id, ruleset)
         self.rules = ruleset
         self.receipt = receipt
+        self.owner.community._invalidate_views(self.doc_id)
         return receipt
 
     def grant(self, member: "Member | str") -> None:
@@ -808,5 +862,6 @@ class Document:
         )
         if name in self.recipients:
             self.recipients.remove(name)
+        self.owner.community._invalidate_subject_views(self.doc_id, name)
         self.owner.community._save_manifest()
         return removed

@@ -1,7 +1,7 @@
 """The client-side seam of the DSP service.
 
 The terminal proxy, the pull terminal and the dissemination layers all
-talk to a :class:`DSPClient` -- the five request types of the DSP wire
+talk to a :class:`DSPClient` -- the six request types of the DSP wire
 protocol plus a clock to charge transport time to -- never to a
 concrete server.  Three things satisfy it:
 
@@ -20,6 +20,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.crypto.container import DocumentHeader
 from repro.dsp.server import DSPServer
+from repro.dsp.wire import DocMeta
 from repro.smartcard.resources import SimClock
 
 __all__ = ["DSPClient", "LocalDSP"]
@@ -29,7 +30,7 @@ __all__ = ["DSPClient", "LocalDSP"]
 class DSPClient(Protocol):
     """What a terminal needs from a DSP, wherever the DSP runs.
 
-    The five methods mirror the wire protocol's request types and the
+    The six methods mirror the wire protocol's request types and the
     matching :class:`~repro.dsp.server.DSPServer` methods exactly --
     same signatures, same return values, same typed errors
     (:class:`~repro.errors.UnknownDocument`,
@@ -61,6 +62,10 @@ class DSPClient(Protocol):
 
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
         """The document secret wrapped for one recipient."""
+        ...
+
+    def get_meta(self, doc_id: str, subject: str) -> DocMeta:
+        """The cache-freshness probe (versions, generation, grant bit)."""
         ...
 
 
@@ -95,3 +100,6 @@ class LocalDSP:
 
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
         return self.server.get_wrapped_key(doc_id, recipient)
+
+    def get_meta(self, doc_id: str, subject: str) -> DocMeta:
+        return self.server.get_meta(doc_id, subject)

@@ -56,6 +56,7 @@ from repro.dsp.server import (
     fetch_chunk,
     fetch_chunk_range,
     fetch_header,
+    fetch_meta,
     fetch_rules,
     fetch_wrapped_key,
 )
@@ -65,6 +66,7 @@ from repro.dsp.wire import (
     GetChunk,
     GetChunkRange,
     GetHeader,
+    GetMeta,
     GetRules,
     GetWrappedKey,
     Request,
@@ -451,6 +453,11 @@ class _LoopWorker(threading.Thread):
             )
         if isinstance(request, GetRules):
             return fetch_rules(store, request.doc_id)
+        if isinstance(request, GetMeta):
+            # Safe to response-cache like any other success: the
+            # generation rides *inside* the payload and the per-loop
+            # cache is dropped wholesale whenever the generation moves.
+            return fetch_meta(store, request.doc_id, request.subject)
         return fetch_wrapped_key(store, request.doc_id, request.recipient)
 
     # -- writing ------------------------------------------------------------

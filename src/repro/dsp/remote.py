@@ -41,9 +41,11 @@ from repro.crypto.container import DocumentHeader
 from repro.dsp.server import DSPServer
 from repro.dsp.wire import (
     MAX_FRAME,
+    DocMeta,
     GetChunk,
     GetChunkRange,
     GetHeader,
+    GetMeta,
     GetRules,
     GetWrappedKey,
     Request,
@@ -314,6 +316,8 @@ class DSPSocketServer:
             )
         if isinstance(request, GetRules):
             return dsp.get_rules(request.doc_id)
+        if isinstance(request, GetMeta):
+            return dsp.get_meta(request.doc_id, request.subject)
         return dsp.get_wrapped_key(request.doc_id, request.recipient)
 
     # -- lifecycle --------------------------------------------------------
@@ -608,6 +612,11 @@ class RemoteDSP:
     def get_wrapped_key(self, doc_id: str, recipient: str) -> bytes:
         value = self._call(GetWrappedKey(doc_id, recipient))
         assert isinstance(value, bytes)
+        return value
+
+    def get_meta(self, doc_id: str, subject: str) -> DocMeta:
+        value = self._call(GetMeta(doc_id, subject))
+        assert isinstance(value, DocMeta)
         return value
 
     # -- lifecycle --------------------------------------------------------

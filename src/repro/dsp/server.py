@@ -10,6 +10,7 @@ from repro.core.multicast import multicast_view_texts
 from repro.core.rules import RuleSet, Sign, Subject
 from repro.crypto.container import DocumentHeader
 from repro.dsp.store import DSPStore
+from repro.dsp.wire import DocMeta
 from repro.errors import KeyNotGranted
 from repro.smartcard.card import encode_header
 from repro.smartcard.resources import NetworkModel, SimClock
@@ -51,6 +52,25 @@ def fetch_chunk_range(
 def fetch_rules(store: DSPStore, doc_id: str) -> tuple[int, list[bytes]]:
     stored = store.get(doc_id)
     return stored.rules_version, list(stored.rule_records)
+
+
+def fetch_meta(store: DSPStore, doc_id: str, subject: str) -> DocMeta:
+    """The cache-freshness probe: version vector plus grant bit.
+
+    One tiny frame instead of a full header pull: the document and
+    rules versions (the per-document validators), the store-wide
+    ``(generation, boot)`` stamp, and whether ``subject``'s wrapped key
+    is still present -- key-level revocation bumps neither version, so
+    the grant bit is the only cheap way a cache can notice it.
+    """
+    stored = store.get(doc_id)
+    return DocMeta(
+        doc_version=stored.container.header.version,
+        rules_version=stored.rules_version,
+        generation=store.generation,
+        boot=store.boot,
+        has_key=subject in stored.wrapped_keys,
+    )
 
 
 def fetch_wrapped_key(store: DSPStore, doc_id: str, recipient: str) -> bytes:
@@ -138,6 +158,11 @@ class DSPServer:
         blob = fetch_wrapped_key(self.store, doc_id, recipient)
         self._charge(len(blob))
         return blob
+
+    def get_meta(self, doc_id: str, subject: str) -> DocMeta:
+        meta = fetch_meta(self.store, doc_id, subject)
+        self._charge(meta.wire_size)
+        return meta
 
 
 class TrustedFilterService:

@@ -1,14 +1,14 @@
 """The DSP wire protocol: a length-prefixed binary codec.
 
-Serializes the five DSP request types (header, chunk, chunk range,
-rules, wrapped key) and their responses -- including the typed errors
+Serializes the six DSP request types (header, chunk, chunk range,
+rules, wrapped key, meta) and their responses -- including the typed errors
 (:class:`~repro.errors.UnknownDocument`,
 :class:`~repro.errors.KeyNotGranted`, out-of-range, bad request) -- so
 a :class:`~repro.dsp.remote.RemoteDSP` raises exactly what the
 in-process :class:`~repro.dsp.server.DSPServer` raises.
 
 Framing: every message travels as ``[u32 length][body]`` (big endian);
-the body starts with one opcode byte.  Requests use opcodes 1..5;
+the body starts with one opcode byte.  Requests use opcodes 1..6;
 responses echo the request opcode with the high bit set (``0x80 |
 op``); error responses use opcode ``0x7F`` regardless of the request.
 Strings are ``[u16 length][utf-8]``; blobs are ``[u32 length][raw]``.
@@ -38,9 +38,11 @@ from repro.errors import (
 from repro.smartcard.card import decode_header, encode_header
 
 __all__ = [
+    "DocMeta",
     "GetChunk",
     "GetChunkRange",
     "GetHeader",
+    "GetMeta",
     "GetRules",
     "GetWrappedKey",
     "MAX_FRAME",
@@ -67,6 +69,7 @@ OP_CHUNK = 0x02
 OP_CHUNK_RANGE = 0x03
 OP_RULES = 0x04
 OP_WRAPPED_KEY = 0x05
+OP_META = 0x06
 OP_ERROR = 0x7F
 _OK = 0x80
 
@@ -114,7 +117,45 @@ class GetWrappedKey:
     recipient: str
 
 
-Request = Union[GetHeader, GetChunk, GetChunkRange, GetRules, GetWrappedKey]
+@dataclass(frozen=True, slots=True)
+class GetMeta:
+    """The freshness probe: everything a view cache needs, one frame.
+
+    ``subject`` scopes the ``has_key`` bit -- key-level revocation
+    bumps the store generation but neither the document nor the rules
+    version, so a cache validating piecewise must also learn whether
+    this subject's wrapped key still exists.
+    """
+
+    doc_id: str
+    subject: str
+
+
+@dataclass(frozen=True, slots=True)
+class DocMeta:
+    """The :class:`GetMeta` response: version vector plus grant bit.
+
+    ``doc_version``/``rules_version`` are the authoritative per-document
+    validators; ``(generation, boot)`` is the store-wide fast path (a
+    match means *nothing* at the store changed).  ``has_key`` reports
+    whether the probing subject's wrapped key is still on the shelf.
+    """
+
+    doc_version: int
+    rules_version: int
+    generation: int
+    boot: str
+    has_key: bool
+
+    @property
+    def wire_size(self) -> int:
+        """Size in bytes of the encoded success response body."""
+        return 1 + 8 * 3 + 2 + len(self.boot.encode("utf-8")) + 1
+
+
+Request = Union[
+    GetHeader, GetChunk, GetChunkRange, GetRules, GetWrappedKey, GetMeta
+]
 
 _REQUEST_OPS: dict[type[object], int] = {
     GetHeader: OP_HEADER,
@@ -122,6 +163,7 @@ _REQUEST_OPS: dict[type[object], int] = {
     GetChunkRange: OP_CHUNK_RANGE,
     GetRules: OP_RULES,
     GetWrappedKey: OP_WRAPPED_KEY,
+    GetMeta: OP_META,
 }
 
 
@@ -209,6 +251,8 @@ def encode_request(request: Request) -> bytes:
         body += _U32.pack(request.start) + _U32.pack(request.count)
     elif isinstance(request, GetWrappedKey):
         body += _pack_str(request.recipient)
+    elif isinstance(request, GetMeta):
+        body += _pack_str(request.subject)
     return body
 
 
@@ -228,6 +272,8 @@ def decode_request(body: bytes) -> Request:
         request = GetRules(doc_id)
     elif op == OP_WRAPPED_KEY:
         request = GetWrappedKey(doc_id, reader.string())
+    elif op == OP_META:
+        request = GetMeta(doc_id, reader.string())
     else:
         raise WireError(f"unknown request opcode {op:#04x}")
     reader.finish()
@@ -258,6 +304,16 @@ def encode_response(request: Request, value: object) -> bytes:
         for blob in value:
             body += _pack_bytes(blob)
         return body
+    if isinstance(request, GetMeta):
+        assert isinstance(value, DocMeta)
+        return (
+            head
+            + _U64.pack(value.doc_version)
+            + _U64.pack(value.rules_version)
+            + _U64.pack(value.generation)
+            + _pack_str(value.boot)
+            + bytes([1 if value.has_key else 0])
+        )
     assert isinstance(value, tuple)
     version, records = value
     body = head + _U64.pack(version) + _U16.pack(len(records))
@@ -369,6 +425,14 @@ def decode_response(request: Request, body: bytes) -> object:
         value = reader.blob()
     elif isinstance(request, GetChunkRange):
         value = [reader.blob() for __ in range(reader.u16())]
+    elif isinstance(request, GetMeta):
+        value = DocMeta(
+            doc_version=reader.u64(),
+            rules_version=reader.u64(),
+            generation=reader.u64(),
+            boot=reader.string(),
+            has_key=reader.u8() != 0,
+        )
     else:
         version = reader.u64()
         value = (version, [reader.blob() for __ in range(reader.u16())])

@@ -142,6 +142,13 @@ class SessionMetrics:
     events_pumped: int = 0
     tokens_touched: int = 0
     product_states_interned: int = 0
+    #: Set on sessions answered from the terminal's view cache: 1 when
+    #: this session replayed a cached entry verbatim, and 1 when the
+    #: answer was *derived* from a covering cached query by containment
+    #: (``cache_semantic_hit`` implies a fabricated, card-free session:
+    #: the only DSP traffic is the freshness probe).
+    cache_hit: int = 0
+    cache_semantic_hit: int = 0
     clock: SimClock = field(default_factory=SimClock)
 
     def as_dict(self) -> dict[str, float]:

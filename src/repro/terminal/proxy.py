@@ -99,6 +99,12 @@ class QueryOutcome:
     xml: str
     fragments: list[tuple[int, str]] = field(default_factory=list)
     metrics: SessionMetrics = field(default_factory=SessionMetrics)
+    #: The container and rules versions this view was pulled under --
+    #: the validators a view cache stores alongside the entry.  The
+    #: proxy fills them as soon as the header and rules arrive;
+    #: ``None`` only on outcomes constructed outside a pull.
+    doc_version: "int | None" = None
+    rules_version: "int | None" = None
 
 
 class CardProxy:
@@ -212,7 +218,7 @@ class CardProxy:
             metrics,
             "put header",
         )
-        self._send_rules(doc_id, metrics)
+        rules_version = self._send_rules(doc_id, metrics)
         output = bytearray()
         chunk_cache: dict[int, bytes] = {}
         for __ in self._stream_document(
@@ -232,6 +238,8 @@ class CardProxy:
             xml=output.decode("utf-8"),
             fragments=fragments,
             metrics=metrics,
+            doc_version=header.version,
+            rules_version=rules_version,
         )
 
     def stream_query(
@@ -275,7 +283,8 @@ class CardProxy:
             metrics,
             "put header",
         )
-        self._send_rules(doc_id, metrics)
+        outcome.doc_version = header.version
+        outcome.rules_version = self._send_rules(doc_id, metrics)
         output = bytearray()
         chunk_cache: dict[int, bytes] = {}
         decoder = codecs.getincrementaldecoder("utf-8")()
@@ -344,7 +353,7 @@ class CardProxy:
             "begin session",
         )
 
-    def _send_rules(self, doc_id: str, metrics: SessionMetrics) -> None:
+    def _send_rules(self, doc_id: str, metrics: SessionMetrics) -> int:
         version, records = self.dsp.get_rules(doc_id)
         metrics.dsp_requests += 1
         metrics.bytes_from_dsp += sum(len(r) for r in records)
@@ -360,6 +369,7 @@ class CardProxy:
                 metrics,
                 f"put rule {index}",
             )
+        return version
 
     # -- chunk fetch planning ------------------------------------------------
 

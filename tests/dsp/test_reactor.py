@@ -477,3 +477,47 @@ def test_fuzzed_read_path_yields_only_typed_errors_never_hangs(
     assert decode_response(GetHeader(DOC_ID), ok).doc_id == DOC_ID
     probe.close()
     assert fuzz_server.validate_caches() == []
+
+
+# -- GET_META through the reactor's response cache ----------------------------
+
+
+def test_get_meta_cached_and_flushed_on_generation_moves(published_community):
+    """The freshness probe is response-cacheable -- but never stale.
+
+    The per-loop cache keys on raw request bytes and is dropped
+    wholesale whenever the store generation moves, so a cached
+    ``GET_META`` can only ever repeat an answer that is still true.  A
+    republish (version bump) and a key revocation (``has_key`` flip)
+    both move the generation, so both must be visible on the very next
+    probe.
+    """
+    with published_community.serve() as server:
+        with RemoteDSP.connect(server.address, timeout=10.0) as client:
+            first = client.get_meta(DOC_ID, "doctor")
+            assert first.has_key
+            entries = server.cache_entries
+            assert entries >= 1
+            second = client.get_meta(DOC_ID, "doctor")
+            assert second == first
+            assert server.cache_entries == entries  # served from cache
+            assert server.validate_caches() == []
+            # Republish: the probe must see the new version at once.
+            published_community.member("owner").publish(
+                list(tree_to_events(hospital(n_patients=3, seed=23))),
+                hospital_rules(),
+                to=list(READERS),
+                doc_id=DOC_ID,
+                chunk_size=64,
+            )
+            third = client.get_meta(DOC_ID, "doctor")
+            assert third.doc_version == first.doc_version + 1
+            assert third.generation != first.generation
+            # Key revocation bumps only the generation -- the flushed
+            # cache is what keeps the revocation bit truthful.
+            store = published_community.store
+            assert store is not None
+            store.remove_wrapped_key(DOC_ID, "doctor")
+            revoked = client.get_meta(DOC_ID, "doctor")
+            assert revoked.has_key is False
+            assert revoked.generation != third.generation

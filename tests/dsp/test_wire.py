@@ -32,12 +32,21 @@ HEADER = DocumentHeader(
     tag=bytes(range(1, 9)),
 )
 
+META = wire.DocMeta(
+    doc_version=3,
+    rules_version=5,
+    generation=12,
+    boot="boot-1",
+    has_key=True,
+)
+
 REQUESTS = [
     wire.GetHeader("doc-1"),
     wire.GetChunk("doc-1", 7),
     wire.GetChunkRange("doc-1", 2, 5),
     wire.GetRules("doc-1"),
     wire.GetWrappedKey("doc-1", "alice"),
+    wire.GetMeta("doc-1", "alice"),
 ]
 
 #: Framed request bytes, pinned.  Layout: [u32 len][op][u16 len]doc_id…
@@ -47,6 +56,7 @@ GOLDEN_REQUESTS = {
     "GetChunkRange": "00000010030005646f632d310000000200000005",
     "GetRules": "00000008040005646f632d31",
     "GetWrappedKey": "0000000f050005646f632d310005616c696365",
+    "GetMeta": "0000000f060005646f632d310005616c696365",
 }
 
 #: Framed response bytes for each request above, pinned.
@@ -69,6 +79,12 @@ GOLDEN_RESPONSES = [
         "000000178400000000000000040002000000027261000000027262",
     ),
     (REQUESTS[4], b"\x99", "00000006850000000199"),
+    (
+        REQUESTS[5],
+        META,
+        "000000228600000000000000030000000000000005000000000000000c00"
+        "06626f6f742d3101",
+    ),
 ]
 
 GOLDEN_ERRORS = [
@@ -128,6 +144,51 @@ def test_response_golden_vector(request_, value, golden):
 def test_error_golden_vector(exc, golden):
     framed = wire.frame(wire.encode_error(exc))
     assert framed.hex() == golden
+
+
+def test_meta_has_key_false_survives_the_wire():
+    # The revocation bit is the whole point of the probe: a flipped or
+    # dropped flag would let a cache serve a revoked subject.
+    revoked = wire.DocMeta(
+        doc_version=3,
+        rules_version=5,
+        generation=12,
+        boot="boot-1",
+        has_key=False,
+    )
+    request = wire.GetMeta("doc-1", "alice")
+    framed = wire.frame(wire.encode_response(request, revoked))
+    assert framed.hex() == (
+        "000000228600000000000000030000000000000005000000000000000c00"
+        "06626f6f742d3100"
+    )
+    decoded = wire.decode_response(request, framed[4:])
+    assert decoded == revoked
+    assert decoded.has_key is False
+
+
+@given(
+    st.integers(0, 2**64 - 1),
+    st.integers(0, 2**64 - 1),
+    st.integers(0, 2**64 - 1),
+    st.text(max_size=40),
+    st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_meta_roundtrip_and_wire_size(doc_v, rules_v, generation, boot, has_key):
+    meta = wire.DocMeta(
+        doc_version=doc_v,
+        rules_version=rules_v,
+        generation=generation,
+        boot=boot,
+        has_key=has_key,
+    )
+    request = wire.GetMeta("d", "s")
+    body = wire.encode_response(request, meta)
+    assert wire.decode_response(request, body) == meta
+    # ``wire_size`` is what the session charges to its metrics on a
+    # probe; it must be the encoded body length, not an estimate.
+    assert meta.wire_size == len(body)
 
 
 # -- error frames -------------------------------------------------------------
@@ -224,7 +285,7 @@ blobs = st.binary(max_size=512)
 
 @st.composite
 def requests(draw):
-    kind = draw(st.integers(0, 4))
+    kind = draw(st.integers(0, 5))
     doc_id = draw(doc_ids)
     if kind == 0:
         return wire.GetHeader(doc_id)
@@ -238,7 +299,9 @@ def requests(draw):
         )
     if kind == 3:
         return wire.GetRules(doc_id)
-    return wire.GetWrappedKey(doc_id, draw(doc_ids))
+    if kind == 4:
+        return wire.GetWrappedKey(doc_id, draw(doc_ids))
+    return wire.GetMeta(doc_id, draw(doc_ids))
 
 
 @given(requests())

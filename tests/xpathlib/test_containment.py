@@ -1,7 +1,10 @@
 """Unit and property tests for the sound containment check."""
 
+import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.workloads import docgen
 from repro.xpathlib.containment import contains, equivalent
 from repro.xpathlib.evaluator import evaluate_path
 from repro.xpathlib.parser import parse_path
@@ -77,4 +80,66 @@ def test_containment_is_sound(root, p, q):
         document = write_string(tree_to_events(root))
         assert q_nodes <= p_nodes, (
             f"claimed {q} ⊆ {p} but node sets disagree on {document}"
+        )
+
+
+# -- soundness over the docgen corpus ----------------------------------------
+#
+# The semantic view cache serves a narrow query from a cached broader
+# one whenever ``contains(p, q)`` proves containment -- a false
+# positive here would serve *wrong bytes* to an application.  The tiny
+# a-e alphabet above stresses the prover's recursion; this suite
+# cross-checks it against brute-force evaluation over the realistic
+# corpus documents the cache benchmarks actually run on.
+
+_CORPUS = {
+    "hospital": (
+        docgen.hospital(n_patients=4),
+        ["hospital", "ward", "patient", "episode", "diagnosis",
+         "prescription", "drug", "psychiatric", "billing", "name"],
+    ),
+    "bibliography": (
+        docgen.bibliography(n_entries=10),
+        ["bibliography", "article", "title", "authors", "author",
+         "year", "review", "score"],
+    ),
+    "agenda": (
+        docgen.agenda(n_members=3, events_per_member=4),
+        ["agenda", "member", "event", "title", "date", "participants",
+         "participant", "private", "notes"],
+    ),
+    "nested": (
+        docgen.nested(depth=5, fanout=2),
+        ["root", "n0", "n1", "n2", "n3"],
+    ),
+}
+
+
+@st.composite
+def _corpus_xpaths(draw, tags):
+    """A random XP{[],*,//} expression over a corpus tag alphabet."""
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        axis = draw(st.sampled_from(["/", "//"]))
+        test = draw(st.sampled_from(tags + ["*"]))
+        predicate = ""
+        if draw(st.integers(0, 3)) == 0:
+            predicate = f"[{draw(st.sampled_from(tags))}]"
+        steps.append(f"{axis}{test}{predicate}")
+    return "".join(steps)
+
+
+@pytest.mark.parametrize("corpus", sorted(_CORPUS), ids=sorted(_CORPUS))
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_containment_is_sound_on_docgen_corpus(corpus, data):
+    root, tags = _CORPUS[corpus]
+    p = data.draw(_corpus_xpaths(tags), label="p")
+    q = data.draw(_corpus_xpaths(tags), label="q")
+    p_path, q_path = parse_path(p), parse_path(q)
+    if contains(p_path, q_path):
+        p_nodes = {id(n) for n in evaluate_path(p_path, root)}
+        q_nodes = {id(n) for n in evaluate_path(q_path, root)}
+        assert q_nodes <= p_nodes, (
+            f"claimed {q} ⊆ {p} but the {corpus} corpus disagrees"
         )
